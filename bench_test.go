@@ -1,0 +1,154 @@
+package lcm_test
+
+// One testing.B benchmark per table and figure of the paper, plus the
+// Section 7 ablations.  Each benchmark runs the corresponding workload on
+// the simulated machine and reports, besides Go's wall-clock numbers, the
+// simulated metrics the paper's artifact reports: virtual cycles
+// ("simcycles"), cache misses ("simmisses") and clean copies
+// ("cleancopies").
+//
+// Benchmarks default to 1/8 of the paper's problem sizes so the whole
+// suite completes in minutes; run cmd/lcmbench for full-scale numbers
+// (EXPERIMENTS.md records a full-scale run).
+
+import (
+	"io"
+	"testing"
+
+	"lcm/internal/cstar"
+	"lcm/internal/harness"
+	"lcm/internal/workloads"
+)
+
+// benchScale divides paper problem sizes for the testing.B harness.
+const benchScale = 8
+
+func benchSuite() *harness.Suite {
+	s := harness.New(io.Discard)
+	s.Cfg = workloads.Config{P: 32}
+	s.Scale = benchScale
+	return s
+}
+
+func report(b *testing.B, r workloads.Result) {
+	b.Helper()
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportMetric(float64(r.Cycles), "simcycles")
+	b.ReportMetric(float64(r.C.Misses), "simmisses")
+	b.ReportMetric(float64(r.CleanCopies()), "cleancopies")
+}
+
+// benchWorkload runs one (workload, system) cell b.N times.
+func benchWorkload(b *testing.B, run func() workloads.Result) {
+	b.Helper()
+	var last workloads.Result
+	for i := 0; i < b.N; i++ {
+		last = run()
+	}
+	report(b, last)
+}
+
+func forSystems(b *testing.B, run func(sys cstar.System) workloads.Result) {
+	for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+		b.Run(sys.String(), func(b *testing.B) {
+			benchWorkload(b, func() workloads.Result { return run(sys) })
+		})
+	}
+}
+
+// BenchmarkTable1StencilStat regenerates the Stencil-stat row of Table 1
+// and the static half of Figure 2.
+func BenchmarkTable1StencilStat(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunStencil(sys, s.StencilSpec("static"), s.Cfg)
+	})
+}
+
+// BenchmarkTable1StencilDyn regenerates the Stencil-dyn row of Table 1 and
+// the dynamic half of Figure 2.
+func BenchmarkTable1StencilDyn(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunStencil(sys, s.StencilSpec("dynamic"), s.Cfg)
+	})
+}
+
+// BenchmarkTable1AdaptiveStat regenerates the Adaptive row of Table 1 /
+// Figure 3 with static partitioning.
+func BenchmarkTable1AdaptiveStat(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunAdaptive(sys, s.AdaptiveSpec("static"), s.Cfg)
+	})
+}
+
+// BenchmarkTable1AdaptiveDyn regenerates the Adaptive row of Table 1 /
+// Figure 3 with dynamic partitioning (the paper's headline 1.9x case).
+func BenchmarkTable1AdaptiveDyn(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunAdaptive(sys, s.AdaptiveSpec("dynamic"), s.Cfg)
+	})
+}
+
+// BenchmarkTable1Threshold regenerates the Threshold row of Table 1 /
+// Figure 3.
+func BenchmarkTable1Threshold(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunThreshold(sys, s.ThresholdSpec(), s.Cfg)
+	})
+}
+
+// BenchmarkTable1Unstructured regenerates the Unstructured row of Table 1
+// / Figure 3.
+func BenchmarkTable1Unstructured(b *testing.B) {
+	s := benchSuite()
+	forSystems(b, func(sys cstar.System) workloads.Result {
+		return workloads.RunUnstructured(sys, s.UnstructuredSpec(), s.Cfg)
+	})
+}
+
+// BenchmarkAblationReduction regenerates the Section 7.1 comparison of
+// lock-based, hand-partialled and RSM reductions.
+func BenchmarkAblationReduction(b *testing.B) {
+	s := benchSuite()
+	var last []harness.ReductionResult
+	for i := 0; i < b.N; i++ {
+		last = s.RunReduction(1 << 14)
+	}
+	for _, r := range last {
+		b.ReportMetric(float64(r.Cycles), "simcycles_"+r.Strategy)
+	}
+}
+
+// BenchmarkAblationFalseSharing regenerates the Section 7.4 false-sharing
+// kernel.
+func BenchmarkAblationFalseSharing(b *testing.B) {
+	s := benchSuite()
+	var last []harness.FalseSharingResult
+	for i := 0; i < b.N; i++ {
+		last = s.RunFalseSharing(8, 10)
+	}
+	for _, r := range last {
+		b.ReportMetric(float64(r.Cycles), "simcycles_"+r.System.String())
+	}
+}
+
+// BenchmarkAblationStaleData regenerates the Section 7.5 staleness sweep.
+func BenchmarkAblationStaleData(b *testing.B) {
+	s := benchSuite()
+	var last []harness.StaleResult
+	for i := 0; i < b.N; i++ {
+		last = s.RunStaleData(128, 12, []int{0, 4})
+	}
+	for _, r := range last {
+		if r.StalePhases == 4 && r.MaxLagSeen > 4 {
+			b.Fatalf("staleness bound violated: %+v", r)
+		}
+		b.ReportMetric(float64(r.Misses), "simmisses")
+	}
+}

@@ -1,0 +1,91 @@
+// Command lcmbench regenerates the paper's experiments: Table 1 (cache
+// misses and clean copies), Figure 2 (Stencil execution time), Figure 3
+// (Adaptive / Threshold / Unstructured execution time), and the Section 7
+// ablations (reductions, false sharing, stale data).
+//
+// By default it runs everything at the paper's parameters (32 processors,
+// 32-byte blocks, 1024x1024 Stencil, ...).  Use -scale to shrink the
+// problems proportionally for a quick run, e.g. -scale 8.
+//
+// Usage:
+//
+//	lcmbench [-scale N] [-p N] [-verify] [-table1] [-fig2] [-fig3] [-ablate]
+//
+// With no selection flags, all experiments run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lcm/internal/harness"
+	"lcm/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide problem sizes by this factor (1 = paper scale)")
+	p := flag.Int("p", 32, "number of simulated processors (max 64)")
+	verify := flag.Bool("verify", false, "check results against sequential references (slower)")
+	table1 := flag.Bool("table1", false, "run only Table 1 benchmarks")
+	fig2 := flag.Bool("fig2", false, "run only Figure 2 (Stencil)")
+	fig3 := flag.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
+	ablate := flag.Bool("ablate", false, "run only the Section 7 ablations")
+	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity); heavy at scale 1")
+	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
+	flag.Parse()
+
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "lcmbench: -scale must be >= 1")
+		os.Exit(2)
+	}
+	s := harness.New(os.Stdout)
+	s.Cfg = workloads.Config{P: *p, Verify: *verify}
+	s.Scale = *scale
+
+	all := !*table1 && !*fig2 && !*fig3 && !*ablate
+	start := time.Now()
+
+	if all || *table1 || *fig2 || *fig3 {
+		rows := s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lcmbench:", err)
+				os.Exit(1)
+			}
+			if err := harness.WriteCSV(f, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "lcmbench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lcmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		if *verify {
+			bad := 0
+			for _, row := range rows {
+				for _, r := range row {
+					if r.Err != nil {
+						fmt.Fprintf(os.Stderr, "VERIFY FAILED %s/%s: %v\n", r.Label(), r.System, r.Err)
+						bad++
+					}
+				}
+			}
+			if bad > 0 {
+				os.Exit(1)
+			}
+			fmt.Println("all benchmark results verified against sequential references")
+		}
+	}
+	if all || *ablate {
+		s.RunAblations()
+	}
+	if *sweeps {
+		s.RunSweeps()
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,70 @@
+// Semantic-violation and data-race detection — Sections 7.2 and 7.3.
+//
+// Steele (POPL 1990) proposed a language semantics that forbids programs
+// with conflicting side effects, enforced with per-location access
+// histories whose worst-case space is unbounded.  The paper shows LCM can
+// detect the same violations without histories: private copies are diffed
+// at reconciliation, so two processors writing different values to one
+// word is caught exactly, and the co-existence of readable and written
+// copies of a block flags read-write races.
+//
+// This example runs three phases against a conflict-checked region:
+//
+//  1. disjoint writes        -> no violations
+//  2. two writers, one word  -> a write-write violation
+//  3. reader vs writer       -> a read-write violation
+//
+// Run it with:
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+
+	"lcm"
+)
+
+func main() {
+	m := lcm.NewMachine(lcm.MachineConfig{Nodes: 4, System: lcm.LCMmcc})
+	// Detect(true) is "actual violation" mode: reconciliation also
+	// flushes read-only copies so every phase's reads are observed.
+	data := lcm.NewVectorI32(m, "shared", 64, lcm.Detect(true), lcm.Interleaved)
+	m.Freeze()
+
+	m.Run(func(n *lcm.Node) {
+		// Phase 1: every node writes its own element — C**-legal.
+		data.Set(n, n.ID, int32(n.ID))
+		n.ReconcileCopies()
+
+		// Phase 2: nodes 0 and 1 write the same element with different
+		// values — the modification C** calls a conflict.
+		if n.ID < 2 {
+			data.Set(n, 10, int32(100+n.ID))
+		}
+		n.ReconcileCopies()
+
+		// Phase 3: node 0 reads an element node 1 writes — a
+		// read-write race under Steele's semantics.
+		if n.ID == 0 {
+			_ = data.Get(n, 20)
+		}
+		if n.ID == 1 {
+			data.Set(n, 21, 7) // same block as element 20
+		}
+		n.ReconcileCopies()
+	})
+
+	conflicts := lcm.Conflicts(m)
+	fmt.Printf("the memory system detected %d violations:\n\n", len(conflicts))
+	for i, c := range conflicts {
+		fmt.Printf("  %d. %s\n", i+1, c)
+	}
+
+	s := m.Shared.Snapshot()
+	fmt.Printf("\nwrite-write violations: %d (phase 2)\n", s.WriteConflicts)
+	fmt.Printf("read-write violations:  %d (phase 3)\n", s.ReadWriteConflicts)
+	fmt.Println("\nphase 1's disjoint writes were merged silently — no false positives.")
+	fmt.Println("note: no access histories were kept; detection falls out of the")
+	fmt.Println("clean-copy diff that reconciliation performs anyway.")
+}

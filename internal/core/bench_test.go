@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"lcm/internal/cost"
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// Micro-benchmarks of the LCM protocol primitives, in host wall-clock time
+// (simulated cycles are constant per operation).  They bound the real cost
+// of running the simulator itself, which matters for full-scale runs.
+
+func benchMachine(b *testing.B, v Variant, blocks uint64) (*tempest.Machine, *memsys.Region) {
+	b.Helper()
+	m := tempest.New(2, 32, cost.Default())
+	r := m.AS.Alloc("data", blocks*32, memsys.KindLCM, memsys.Interleaved)
+	m.SetProtocol(New(v))
+	m.Freeze()
+	return m, r
+}
+
+// BenchmarkHitLoad measures the tag-check fast path.
+func BenchmarkHitLoad(b *testing.B) {
+	m, r := benchMachine(b, MCC, 4)
+	m.Run(func(n *tempest.Node) {
+		if n.ID != 0 {
+			return
+		}
+		_ = n.ReadU32(r.Base) // install
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = n.ReadU32(r.Base)
+		}
+	})
+}
+
+// BenchmarkPrivateStore measures a store to an already-private copy.
+func BenchmarkPrivateStore(b *testing.B) {
+	m, r := benchMachine(b, MCC, 4)
+	m.Run(func(n *tempest.Node) {
+		if n.ID != 0 {
+			return
+		}
+		n.WriteU32(r.Base, 1) // mark
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.WriteU32(r.Base, uint32(i))
+		}
+	})
+}
+
+// BenchmarkMarkFlushCycle measures the mcc per-invocation mark+flush pair,
+// the inner loop of every LCM workload.
+func BenchmarkMarkFlushCycle(b *testing.B) {
+	m, r := benchMachine(b, MCC, 4)
+	m.Run(func(n *tempest.Node) {
+		if n.ID != 0 {
+			return
+		}
+		n.WriteU32(r.Base, 1)
+		n.FlushCopies()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.WriteU32(r.Base, uint32(i))
+			n.FlushCopies()
+		}
+	})
+}
+
+// BenchmarkReconcilePhase measures a full two-node reconciliation over 64
+// modified blocks.
+func BenchmarkReconcilePhase(b *testing.B) {
+	m, r := benchMachine(b, MCC, 64)
+	m.Run(func(n *tempest.Node) {
+		for i := 0; i < b.N; i++ {
+			for blk := 0; blk < 32; blk++ {
+				idx := (blk*2 + n.ID) * 8
+				n.WriteU32(r.Base+memsys.Addr(idx*4), uint32(i))
+			}
+			n.ReconcileCopies()
+		}
+	})
+}
+
+// BenchmarkOracleProgram runs a whole random phased program per iteration
+// (end-to-end protocol throughput).
+func BenchmarkOracleProgram(b *testing.B) {
+	prog := genProgram(42, 4, 64, 4, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runOracle(MCC, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// CheckInvariants audits LCM's directory state against every node's access
+// tags and returns the first violation found, or nil.  It may only run
+// while the machine is quiescent.
+//
+// Invariants of the LCM protocol, per loosely coherent block:
+//
+//   - Every node in the sharer mask holds a readable (not private) copy.
+//   - A node holding a read-only copy of a current-generation block is in
+//     the sharer mask (stale-policy and older-generation copies of
+//     unmodified blocks may legitimately outlive their mask entry only if
+//     the mask still records them — the protocol never clears a sharer
+//     without invalidating the copy).
+//   - Between phases (after ReconcileCopies) no private copies exist and
+//     no pending merge images are live.
+//
+// Coherent-region blocks are delegated to the embedded Stache checker.
+func (p *LCM) CheckInvariants() error {
+	if err := p.coherent.CheckInvariants(); err != nil {
+		return err
+	}
+	ph := p.phase.Load()
+	for bi := range p.entries {
+		b := memsys.BlockID(bi)
+		r := p.m.AS.RegionOfBlock(b)
+		if r.Kind == memsys.KindCoherent {
+			continue
+		}
+		e := &p.entries[b]
+		// Sharer-mask soundness.
+		for s := e.sharers; s != 0; s &= s - 1 {
+			id := bits.TrailingZeros64(s)
+			l := p.m.Nodes[id].Line(b)
+			if l == nil || l.Tag() != tempest.TagReadOnly {
+				tag := "none"
+				if l != nil {
+					tag = tempest.TagName(l.Tag())
+				}
+				return fmt.Errorf("core: block %d sharer %d holds %s, want ro", b, id, tag)
+			}
+		}
+		// Copy-tag soundness.
+		for id, nd := range p.m.Nodes {
+			l := nd.Line(b)
+			if l == nil {
+				continue
+			}
+			switch l.Tag() {
+			case tempest.TagReadWrite:
+				return fmt.Errorf("core: loose block %d carries coherent rw tag at node %d", b, id)
+			case tempest.TagReadOnly:
+				if e.sharers&(1<<uint(id)) == 0 {
+					return fmt.Errorf("core: block %d read-only at node %d but not in sharer mask", b, id)
+				}
+			case tempest.TagPrivate:
+				if l.Gen != ph {
+					return fmt.Errorf("core: block %d private at node %d with stale generation %d (phase %d)",
+						b, id, l.Gen, ph)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQuiescent additionally requires that no parallel phase is in
+// flight: no private copies, no marked lists, no pending merge images.
+// Call after ReconcileCopies has completed on all nodes.
+func (p *LCM) CheckQuiescent() error {
+	if err := p.CheckInvariants(); err != nil {
+		return err
+	}
+	for id, nd := range p.m.Nodes {
+		if st, ok := nd.PD.(*nodeState); ok && len(st.marked) != 0 {
+			return fmt.Errorf("core: node %d has %d unflushed marked blocks", id, len(st.marked))
+		}
+	}
+	for bi := range p.entries {
+		e := &p.entries[bi]
+		if e.hasPending && e.gen == p.phase.Load() {
+			return fmt.Errorf("core: block %d has a live pending image between phases", bi)
+		}
+	}
+	for id, nd := range p.m.Nodes {
+		for bi := range p.entries {
+			if l := nd.Line(memsys.BlockID(bi)); l != nil && l.Tag() == tempest.TagPrivate {
+				return fmt.Errorf("core: node %d still holds block %d privately between phases", id, bi)
+			}
+		}
+	}
+	return nil
+}

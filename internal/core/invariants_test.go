@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"lcm/internal/cost"
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+func TestInvariantsHoldAfterOracleProgram(t *testing.T) {
+	for _, v := range []Variant{SCC, MCC} {
+		prog := genProgram(777, 4, 64, 8, 40)
+		m := tempest.New(4, 32, cost.Default())
+		r := m.AS.Alloc("data", uint64(prog.elems)*4, memsys.KindLCM, memsys.Interleaved)
+		pr := New(v)
+		m.SetProtocol(pr)
+		m.Freeze()
+		m.Run(func(n *tempest.Node) {
+			for ph := range prog.phases {
+				for _, op := range prog.phases[ph][n.ID] {
+					a := r.Base + memsys.Addr(op.elem*4)
+					if op.write {
+						n.WriteU32(a, op.val)
+					} else {
+						_ = n.ReadU32(a)
+					}
+					if op.endInv {
+						n.FlushCopies()
+					}
+				}
+				n.ReconcileCopies()
+			}
+		})
+		if err := pr.CheckQuiescent(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestInvariantsHoldMidPhase(t *testing.T) {
+	// CheckInvariants (not Quiescent) must accept a machine paused with
+	// live private copies.
+	m := tempest.New(2, 32, cost.Default())
+	r := m.AS.Alloc("d", 64, memsys.KindLCM, memsys.Interleaved)
+	pr := New(MCC)
+	m.SetProtocol(pr)
+	m.Freeze()
+	m.Run(func(n *tempest.Node) {
+		if n.ID == 0 {
+			n.WriteU32(r.Base, 5) // leave a private copy live
+		}
+		n.Barrier()
+	})
+	if err := pr.CheckInvariants(); err != nil {
+		t.Fatalf("mid-phase invariants: %v", err)
+	}
+	if err := pr.CheckQuiescent(); err == nil {
+		t.Fatal("CheckQuiescent must reject a live private copy")
+	}
+}
+
+func TestInvariantsHoldWithMixedRegions(t *testing.T) {
+	m := tempest.New(4, 32, cost.Default())
+	loose := m.AS.Alloc("loose", 256, memsys.KindLCM, memsys.Interleaved)
+	coh := m.AS.Alloc("coh", 256, memsys.KindCoherent, memsys.Interleaved)
+	red := m.AS.Alloc("red", 8, memsys.KindLCM, memsys.SingleHome)
+	Reduction(SumI64{}).ApplyTo(red)
+	pr := New(MCC)
+	m.SetProtocol(pr)
+	m.Freeze()
+	m.Run(func(n *tempest.Node) {
+		for it := 0; it < 3; it++ {
+			n.WriteU32(loose.Base+memsys.Addr(n.ID*4), uint32(it))
+			n.WriteU32(coh.Base+memsys.Addr(n.ID*32), uint32(it))
+			n.WriteI64(red.Base, n.ReadI64(red.Base)+1)
+			n.FlushCopies()
+			_ = n.ReadU32(loose.Base + memsys.Addr(((n.ID+1)%4)*4))
+			n.ReconcileCopies()
+		}
+	})
+	if err := pr.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes x 3 phases of +1 each.
+	b := m.AS.Block(red.Base)
+	if got := int64(m.AS.HomeData(b)[0]); got != 12 {
+		t.Fatalf("reduction total = %d, want 12", got)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"lcm/internal/memsys"
+)
+
+// Policy bundles the two program-controlled points of the RSM model for a
+// memory region: the request policy (selected by Kind and StalePhases) and
+// the reconciliation function.  The compiler — or, in this library, the C**
+// runtime and the application — attaches a Policy to each region it
+// allocates; this is the "memory system directive ... for a region of
+// memory" of Section 3.
+type Policy struct {
+	// Kind selects the request policy family.
+	Kind memsys.Kind
+	// Reconciler combines returning copies; nil selects the kind's
+	// default (Overwrite for LCM and stale regions).
+	Reconciler Reconciler
+	// ConflictCheck enables semantic-violation detection for the region
+	// (Sections 7.2/7.3): multiple writers of an element and read/write
+	// copy co-existence are recorded at reconcile time.
+	//
+	// Detection is diff-based (modified words are found by comparing a
+	// returning copy against the clean value), so a processor that
+	// stores a value equal to the old one is not seen as a writer.  The
+	// paper's footnote 2 sketches a store-trapping alternative that
+	// would catch those too, at the cost of a trap per first store per
+	// word.
+	ConflictCheck bool
+	// FlushReads, with ConflictCheck, invalidates all read-only copies
+	// of the region at every reconciliation so that every phase's reads
+	// fault and are observed; this upgrades "potential" violation
+	// detection to "actual" detection at extra cost, exactly the
+	// trade-off the paper describes.
+	FlushReads bool
+	// StalePhases is, for KindStale regions, how many reconcile phases a
+	// consumer's read-only copy may outlive a producer update before the
+	// memory system forcibly refreshes it (Section 7.5).
+	StalePhases int
+}
+
+// Coherent is the default sequentially consistent policy.
+func Coherent() Policy { return Policy{Kind: memsys.KindCoherent} }
+
+// LooselyCoherent is the C** parallel-function policy: copy-on-write with
+// one surviving value per modified element.
+func LooselyCoherent() Policy { return Policy{Kind: memsys.KindLCM} }
+
+// Reduction is a loosely coherent policy whose reconciliation combines
+// contributions with the given reconciler (for example SumF64).
+func Reduction(rec Reconciler) Policy {
+	return Policy{Kind: memsys.KindReduction, Reconciler: rec}
+}
+
+// Detect is LooselyCoherent plus semantic-violation detection.  actual
+// selects actual-violation mode (read-only copies flushed every phase).
+func Detect(actual bool) Policy {
+	return Policy{Kind: memsys.KindLCM, ConflictCheck: true, FlushReads: actual}
+}
+
+// Stale allows consumers to keep read-only copies for up to phases
+// reconciliations after a producer update before being refreshed.
+func Stale(phases int) Policy {
+	return Policy{Kind: memsys.KindStale, StalePhases: phases}
+}
+
+// Validate checks internal consistency.
+func (pol Policy) Validate() error {
+	if pol.Kind == memsys.KindReduction && pol.Reconciler == nil {
+		return fmt.Errorf("core: reduction policy requires a reconciler")
+	}
+	if pol.StalePhases < 0 {
+		return fmt.Errorf("core: negative StalePhases %d", pol.StalePhases)
+	}
+	if pol.StalePhases > 0 && pol.Kind != memsys.KindStale {
+		return fmt.Errorf("core: StalePhases set on non-stale kind %v", pol.Kind)
+	}
+	if pol.FlushReads && !pol.ConflictCheck {
+		return fmt.Errorf("core: FlushReads requires ConflictCheck")
+	}
+	if pol.ConflictCheck && pol.Kind == memsys.KindReduction {
+		return fmt.Errorf("core: reductions combine contributions by design; ConflictCheck would flag every second contributor")
+	}
+	return nil
+}
+
+// ApplyTo stamps the policy onto a region.  Must be called before the
+// machine freezes.
+func (pol Policy) ApplyTo(r *memsys.Region) {
+	if err := pol.Validate(); err != nil {
+		panic(err)
+	}
+	r.Kind = pol.Kind
+	if pol.Reconciler != nil {
+		r.Reconciler = pol.Reconciler
+	}
+	r.ConflictCheck = pol.ConflictCheck
+	r.FlushReads = pol.FlushReads
+	r.StalePhases = pol.StalePhases
+}

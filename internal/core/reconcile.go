@@ -1,0 +1,188 @@
+// Reconciliation functions: the second program-controlled point of the RSM
+// model (Section 3).  When a modified copy of a block returns to its home,
+// the region's reconciliation function folds each modified element into the
+// home's pending image.  The default Overwrite function implements C**'s
+// "exactly one modified value survives" rule; the arithmetic reconcilers
+// implement C** reduction assignments and the Section 7.1 global
+// reductions; Func lets applications supply their own.
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Reconciler folds one modified element of a returning copy into the
+// pending reconciled image of the block at its home.
+//
+// Merge is called only for elements whose incoming value differs from the
+// clean (pre-phase) value, element by element.  pending, incoming and clean
+// are ElemSize-byte little-endian slices; pending initially equals clean.
+// prior reports whether another returning copy already modified this
+// element in the current phase.  Merge returns true when the call
+// constitutes a write-write conflict (two copies wrote different values to
+// an element whose policy allows only one writer).
+type Reconciler interface {
+	// ElemSize is the element granularity in bytes (4 or 8).
+	ElemSize() uint32
+	Merge(pending, incoming, clean []byte, prior bool) bool
+}
+
+// Overwrite is the C** default reconciliation: the value from one modifying
+// invocation survives.  If two copies modified the same element with
+// different values the program has a (semantically tolerated, but counted)
+// conflict; the last returning copy wins, mirroring the paper's "exactly
+// one modified value will be visible".
+type Overwrite struct {
+	// Elem is the element granularity in bytes; zero means 4.
+	Elem uint32
+}
+
+// ElemSize implements Reconciler.
+func (o Overwrite) ElemSize() uint32 {
+	if o.Elem == 0 {
+		return 4
+	}
+	return o.Elem
+}
+
+// Merge implements Reconciler.
+func (o Overwrite) Merge(pending, incoming, _ []byte, prior bool) bool {
+	conflict := false
+	if prior {
+		conflict = !equalBytes(pending, incoming)
+	}
+	copy(pending, incoming)
+	return conflict
+}
+
+func equalBytes(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SumF32 reconciles by accumulating each copy's contribution
+// (incoming - clean) into the pending value: the C** "%+=" reduction for
+// single-precision data.
+type SumF32 struct{}
+
+// ElemSize implements Reconciler.
+func (SumF32) ElemSize() uint32 { return 4 }
+
+// Merge implements Reconciler.
+func (SumF32) Merge(pending, incoming, clean []byte, _ bool) bool {
+	p := math.Float32frombits(binary.LittleEndian.Uint32(pending))
+	in := math.Float32frombits(binary.LittleEndian.Uint32(incoming))
+	cl := math.Float32frombits(binary.LittleEndian.Uint32(clean))
+	binary.LittleEndian.PutUint32(pending, math.Float32bits(p+(in-cl)))
+	return false
+}
+
+// SumF64 is SumF32 for double-precision data.
+type SumF64 struct{}
+
+// ElemSize implements Reconciler.
+func (SumF64) ElemSize() uint32 { return 8 }
+
+// Merge implements Reconciler.
+func (SumF64) Merge(pending, incoming, clean []byte, _ bool) bool {
+	p := math.Float64frombits(binary.LittleEndian.Uint64(pending))
+	in := math.Float64frombits(binary.LittleEndian.Uint64(incoming))
+	cl := math.Float64frombits(binary.LittleEndian.Uint64(clean))
+	binary.LittleEndian.PutUint64(pending, math.Float64bits(p+(in-cl)))
+	return false
+}
+
+// SumI64 accumulates 64-bit integer contributions; exact, so it is also
+// what the property tests use to check reduction reconciliation against a
+// serial fold.
+type SumI64 struct{}
+
+// ElemSize implements Reconciler.
+func (SumI64) ElemSize() uint32 { return 8 }
+
+// Merge implements Reconciler.
+func (SumI64) Merge(pending, incoming, clean []byte, _ bool) bool {
+	p := int64(binary.LittleEndian.Uint64(pending))
+	in := int64(binary.LittleEndian.Uint64(incoming))
+	cl := int64(binary.LittleEndian.Uint64(clean))
+	binary.LittleEndian.PutUint64(pending, uint64(p+(in-cl)))
+	return false
+}
+
+// MinF64 reconciles with the minimum of all written values and the initial
+// value (the C** "%<?=" style reduction).
+type MinF64 struct{}
+
+// ElemSize implements Reconciler.
+func (MinF64) ElemSize() uint32 { return 8 }
+
+// Merge implements Reconciler.
+func (MinF64) Merge(pending, incoming, _ []byte, _ bool) bool {
+	p := math.Float64frombits(binary.LittleEndian.Uint64(pending))
+	in := math.Float64frombits(binary.LittleEndian.Uint64(incoming))
+	if in < p {
+		copy(pending, incoming)
+	}
+	return false
+}
+
+// MaxF64 reconciles with the maximum of all written values and the initial
+// value.
+type MaxF64 struct{}
+
+// ElemSize implements Reconciler.
+func (MaxF64) ElemSize() uint32 { return 8 }
+
+// Merge implements Reconciler.
+func (MaxF64) Merge(pending, incoming, _ []byte, _ bool) bool {
+	p := math.Float64frombits(binary.LittleEndian.Uint64(pending))
+	in := math.Float64frombits(binary.LittleEndian.Uint64(incoming))
+	if in > p {
+		copy(pending, incoming)
+	}
+	return false
+}
+
+// ProdF64 reconciles by multiplying contributions: pending *= incoming/clean.
+// Clean values of zero contribute the incoming value directly.
+type ProdF64 struct{}
+
+// ElemSize implements Reconciler.
+func (ProdF64) ElemSize() uint32 { return 8 }
+
+// Merge implements Reconciler.
+func (ProdF64) Merge(pending, incoming, clean []byte, _ bool) bool {
+	p := math.Float64frombits(binary.LittleEndian.Uint64(pending))
+	in := math.Float64frombits(binary.LittleEndian.Uint64(incoming))
+	cl := math.Float64frombits(binary.LittleEndian.Uint64(clean))
+	if cl == 0 {
+		binary.LittleEndian.PutUint64(pending, math.Float64bits(in))
+		return false
+	}
+	binary.LittleEndian.PutUint64(pending, math.Float64bits(p*(in/cl)))
+	return false
+}
+
+// Func adapts an application-supplied merge function to the Reconciler
+// interface, the fully general RSM reconciliation hook.
+type Func struct {
+	// Elem is the element granularity in bytes (4 or 8).
+	Elem uint32
+	// F folds incoming into pending given clean; it returns true to
+	// report a conflict.  Semantics are otherwise identical to
+	// Reconciler.Merge.
+	F func(pending, incoming, clean []byte, prior bool) bool
+}
+
+// ElemSize implements Reconciler.
+func (f Func) ElemSize() uint32 { return f.Elem }
+
+// Merge implements Reconciler.
+func (f Func) Merge(pending, incoming, clean []byte, prior bool) bool {
+	return f.F(pending, incoming, clean, prior)
+}

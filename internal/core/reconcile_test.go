@@ -1,0 +1,250 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func putI64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func getI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+func putF64(v float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	return b
+}
+
+func getF64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+func putU32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+func TestOverwriteMerge(t *testing.T) {
+	rec := Overwrite{}
+	if rec.ElemSize() != 4 {
+		t.Fatal("default elem size")
+	}
+	pending := putU32(0)
+	if rec.Merge(pending, putU32(5), putU32(0), false) {
+		t.Fatal("first write flagged as conflict")
+	}
+	if binary.LittleEndian.Uint32(pending) != 5 {
+		t.Fatal("value not merged")
+	}
+	// Second writer, same value: no conflict.
+	if rec.Merge(pending, putU32(5), putU32(0), true) {
+		t.Fatal("identical double write flagged")
+	}
+	// Second writer, different value: conflict, last wins.
+	if !rec.Merge(pending, putU32(9), putU32(0), true) {
+		t.Fatal("conflicting write not flagged")
+	}
+	if binary.LittleEndian.Uint32(pending) != 9 {
+		t.Fatal("last value did not win")
+	}
+}
+
+func TestOverwriteElemSizeOverride(t *testing.T) {
+	rec := Overwrite{Elem: 8}
+	if rec.ElemSize() != 8 {
+		t.Fatal("elem size override")
+	}
+}
+
+// Property: for any partition of contributions across copies, SumI64
+// reconciliation equals the serial fold.
+func TestSumI64MatchesSerialFold(t *testing.T) {
+	f := func(initial int64, contribs []int32) bool {
+		rec := SumI64{}
+		clean := putI64(initial)
+		pending := putI64(initial)
+		want := initial
+		for _, c := range contribs {
+			want += int64(c)
+			// Each copy starts from clean and adds its contribution,
+			// exactly what an LCM private copy does.
+			incoming := putI64(initial + int64(c))
+			rec.Merge(pending, incoming, clean, false)
+		}
+		return getI64(pending) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min/max reconciliation equals the serial min/max including the
+// initial value.
+func TestMinMaxMatchSerial(t *testing.T) {
+	f := func(initial float64, vals []float64) bool {
+		if math.IsNaN(initial) {
+			return true
+		}
+		mn, mx := MinF64{}, MaxF64{}
+		pmin, pmax := putF64(initial), putF64(initial)
+		clean := putF64(initial)
+		wantMin, wantMax := initial, initial
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			mn.Merge(pmin, putF64(v), clean, false)
+			mx.Merge(pmax, putF64(v), clean, false)
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		return getF64(pmin) == wantMin && getF64(pmax) == wantMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumF64Contributions(t *testing.T) {
+	rec := SumF64{}
+	clean := putF64(10)
+	pending := putF64(10)
+	rec.Merge(pending, putF64(13), clean, false) // contribution +3
+	rec.Merge(pending, putF64(8), clean, true)   // contribution -2
+	if got := getF64(pending); got != 11 {
+		t.Fatalf("sum = %v, want 11", got)
+	}
+}
+
+func TestSumF32Contributions(t *testing.T) {
+	rec := SumF32{}
+	mk := func(v float32) []byte {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+		return b
+	}
+	clean := mk(1)
+	pending := mk(1)
+	rec.Merge(pending, mk(3), clean, false)
+	rec.Merge(pending, mk(0), clean, true)
+	got := math.Float32frombits(binary.LittleEndian.Uint32(pending))
+	if got != 2 {
+		t.Fatalf("sum = %v, want 2", got)
+	}
+}
+
+func TestProdF64(t *testing.T) {
+	rec := ProdF64{}
+	clean := putF64(2)
+	pending := putF64(2)
+	rec.Merge(pending, putF64(6), clean, false) // factor 3
+	rec.Merge(pending, putF64(10), clean, true) // factor 5
+	if got := getF64(pending); got != 30 {
+		t.Fatalf("prod = %v, want 30", got)
+	}
+	// Zero clean value: incoming replaces.
+	cleanZ := putF64(0)
+	pendZ := putF64(0)
+	rec.Merge(pendZ, putF64(7), cleanZ, false)
+	if got := getF64(pendZ); got != 7 {
+		t.Fatalf("prod from zero = %v, want 7", got)
+	}
+}
+
+func TestFuncReconciler(t *testing.T) {
+	// XOR-merge as a custom policy.
+	rec := Func{Elem: 4, F: func(pending, incoming, clean []byte, prior bool) bool {
+		v := binary.LittleEndian.Uint32(pending) ^ binary.LittleEndian.Uint32(incoming)
+		binary.LittleEndian.PutUint32(pending, v)
+		return false
+	}}
+	if rec.ElemSize() != 4 {
+		t.Fatal("elem size")
+	}
+	pending := putU32(0b1100)
+	rec.Merge(pending, putU32(0b1010), putU32(0), false)
+	if got := binary.LittleEndian.Uint32(pending); got != 0b0110 {
+		t.Fatalf("xor merge = %#b", got)
+	}
+}
+
+// Property: merging any set of writes to DISJOINT elements of a block under
+// Overwrite yields exactly the union of the writes, independent of order.
+func TestDisjointOverwriteMergeProperty(t *testing.T) {
+	f := func(assign []uint8, vals []uint32) bool {
+		const elems = 8
+		if len(vals) == 0 {
+			return true
+		}
+		rec := Overwrite{}
+		clean := make([]byte, 4*elems) // zero clean image
+		pending := make([]byte, 4*elems)
+		want := make([]uint32, elems)
+		// Each element is written by at most one "node": assign element
+		// e to writer assign[e]%3; nodes write vals in their slots.
+		for e := 0; e < elems && e < len(assign); e++ {
+			v := vals[e%len(vals)]
+			if v == 0 {
+				continue // unmodified elements merge nothing
+			}
+			incoming := make([]byte, 4)
+			binary.LittleEndian.PutUint32(incoming, v)
+			if rec.Merge(pending[e*4:e*4+4], incoming, clean[e*4:e*4+4], false) {
+				return false // disjoint writes must not conflict
+			}
+			want[e] = v
+		}
+		for e := 0; e < elems; e++ {
+			if binary.LittleEndian.Uint32(pending[e*4:]) != want[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		pol Policy
+		ok  bool
+	}{
+		{Coherent(), true},
+		{LooselyCoherent(), true},
+		{Reduction(SumF64{}), true},
+		{Detect(true), true},
+		{Detect(false), true},
+		{Stale(3), true},
+		{Policy{Kind: 1, StalePhases: -1}, false},
+		{Policy{Kind: 2}, false},                   // reduction without reconciler
+		{Policy{Kind: 1, FlushReads: true}, false}, // FlushReads without check
+		{Policy{Kind: 1, StalePhases: 2}, false},   // stale phases on LCM kind
+		{Policy{Kind: 2, Reconciler: SumF64{}, ConflictCheck: true}, false}, // checked reduction
+	}
+	for i, tc := range cases {
+		err := tc.pol.Validate()
+		if (err == nil) != tc.ok {
+			t.Fatalf("case %d: Validate() = %v, ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if SCC.String() != "lcm-scc" || MCC.String() != "lcm-mcc" {
+		t.Fatal("variant strings")
+	}
+	if WriteWrite.String() != "write-write" || ReadWrite.String() != "read-write" {
+		t.Fatal("conflict kind strings")
+	}
+}

@@ -1,0 +1,34 @@
+package cost
+
+import "testing"
+
+func TestDefaultOrdering(t *testing.T) {
+	c := Default()
+	// The relative cost structure the experiments depend on.
+	if !(c.RemoteRoundTrip > c.InvalidatePerCopy &&
+		c.InvalidatePerCopy > c.FlushPerBlock &&
+		c.FlushPerBlock > c.LocalFill &&
+		c.LocalFill > c.CacheHit &&
+		c.CacheHit > 0) {
+		t.Fatalf("cost ordering broken: %+v", c)
+	}
+	// Flushes are fire-and-forget: far cheaper than blocking misses for
+	// both sender and receiver.
+	if c.FlushPerBlock >= c.RemoteRoundTrip/4 {
+		t.Fatal("flush should be much cheaper than a blocking miss")
+	}
+	if c.FlushOccupancy >= c.HomeOccupancy {
+		t.Fatal("flush handler should be cheaper than a miss handler")
+	}
+}
+
+func TestUniformAndZero(t *testing.T) {
+	u := Uniform(7)
+	if u.CacheHit != 7 || u.Barrier != 7 || u.MergePerWord != 7 || u.FlushOccupancy != 7 {
+		t.Fatalf("uniform: %+v", u)
+	}
+	z := Zero()
+	if z.RemoteRoundTrip != 0 || z.Compute != 0 {
+		t.Fatalf("zero: %+v", z)
+	}
+}

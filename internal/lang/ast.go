@@ -1,0 +1,148 @@
+package lang
+
+import "fmt"
+
+// The AST mirrors the subset of C** the package accepts: one parallel
+// function over one aggregate, with float expressions, let bindings,
+// conditionals, element assignments and reduction assignments.
+
+// expr is an expression node.
+type expr interface {
+	exprPos() int
+}
+
+// numLit is a numeric literal.
+type numLit struct {
+	pos int
+	v   float64
+}
+
+// varRef references i, j, rows, cols, or a let-bound name.
+type varRef struct {
+	pos  int
+	name string
+}
+
+// binOp is a binary operation: + - * / == != < <= > >= && ||.
+type binOp struct {
+	pos  int
+	op   string
+	l, r expr
+}
+
+// negOp is unary minus.
+type negOp struct {
+	pos int
+	e   expr
+}
+
+// absCall is abs(e).
+type absCall struct {
+	pos int
+	e   expr
+}
+
+// aggRef reads aggregate element A[ix][jx] (jx nil for a 1-D aggregate).
+type aggRef struct {
+	pos    int
+	ix, jx expr
+}
+
+func (e *numLit) exprPos() int  { return e.pos }
+func (e *varRef) exprPos() int  { return e.pos }
+func (e *binOp) exprPos() int   { return e.pos }
+func (e *negOp) exprPos() int   { return e.pos }
+func (e *absCall) exprPos() int { return e.pos }
+func (e *aggRef) exprPos() int  { return e.pos }
+
+// stmt is a statement node.
+type stmt interface {
+	stmtPos() int
+}
+
+// letStmt binds a local name.
+type letStmt struct {
+	pos  int
+	name string
+	e    expr
+}
+
+// storeStmt assigns to an aggregate element: A[ix][jx] = e (jx nil for a
+// 1-D aggregate).
+type storeStmt struct {
+	pos    int
+	ix, jx expr
+	e      expr
+}
+
+// RedOp is a reduction operator.
+type RedOp uint8
+
+// Reduction operators.
+const (
+	RedSum RedOp = iota
+	RedMin
+	RedMax
+)
+
+func (o RedOp) String() string {
+	switch o {
+	case RedMin:
+		return "%min="
+	case RedMax:
+		return "%max="
+	default:
+		return "%+="
+	}
+}
+
+// redStmt is a reduction assignment into a scalar: total %+= e.
+type redStmt struct {
+	pos  int
+	name string
+	op   RedOp
+	e    expr
+}
+
+// ifStmt is a conditional.
+type ifStmt struct {
+	pos  int
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+func (s *letStmt) stmtPos() int   { return s.pos }
+func (s *storeStmt) stmtPos() int { return s.pos }
+func (s *redStmt) stmtPos() int   { return s.pos }
+func (s *ifStmt) stmtPos() int    { return s.pos }
+
+// Func is a parsed parallel function.
+type Func struct {
+	// Name is the function's name.
+	Name string
+	// Agg is the aggregate parameter's name.
+	Agg string
+	// Rank is the aggregate's dimensionality (1 or 2), inferred from the
+	// first subscripted use and enforced on every use.
+	Rank int
+	// Body is the statement list.
+	Body []stmt
+	// Reductions lists the reduction variables the body assigns, with
+	// their operators, in first-use order.
+	Reductions []Reduction
+}
+
+// Reduction describes one reduction variable of a function.
+type Reduction struct {
+	Name string
+	Op   RedOp
+}
+
+// Error is a compile error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }

@@ -1,0 +1,71 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the compiler front end: it must either
+// return an error or produce a function that survives analysis, and never
+// panic.  Run with `go test -fuzz=FuzzParse ./internal/lang` to explore; the
+// seed corpus runs on every ordinary `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		stencilSrc,
+		thresholdSrc,
+		sumSrc,
+		vectorSrc,
+		"parallel f(A) { A[i][j] = 1; }",
+		"parallel f(A) { let x = A[i][j]; if (x > 0) { A[i][j] = -x; } else { t %min= x; } }",
+		"parallel f(A) { A[j][i] = A[i][j]; }",
+		"parallel f(A) { A[i*2][j] = 0; }",
+		"parallel f(A",
+		"parallel f(A) { A[i][j] = ((((1)))); }",
+		"}}{{",
+		"parallel \x00 f(A) {}",
+		"parallel f(A) { A[i][j] = 1e; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Guard against pathological parser recursion on adversarial
+		// nesting: bound the input.
+		if len(src) > 4096 {
+			return
+		}
+		fn, err := Parse(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error without position info: %v", err)
+			}
+			return
+		}
+		// A parsed function must analyze without panicking and carry a
+		// sane rank.
+		_ = Analyze(fn)
+		_ = AlwaysWritesOwn(fn)
+		if fn.Rank != 1 && fn.Rank != 2 {
+			t.Fatalf("rank %d", fn.Rank)
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer never panics and always terminates.
+func FuzzLex(f *testing.F) {
+	f.Add("A[i-1] %+= 0.25 // c\n")
+	f.Add("%%%===&&&|||")
+	f.Add("1.2.3.4")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream not EOF-terminated")
+		}
+	})
+}

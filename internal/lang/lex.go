@@ -1,0 +1,146 @@
+// Package lang implements a miniature C** front end: a lexer, parser,
+// access analyzer and interpreter for single parallel functions over
+// two-dimensional aggregates.
+//
+// The paper's division of labor gives the compiler two jobs: analyze a
+// parallel function's data accesses, and lower it either to explicit
+// two-copy code or to LCM directives (Section 6).  This package performs
+// both for a small but genuine language:
+//
+//	parallel stencil(A) {
+//	    A[i][j] = (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]) * 0.25;
+//	}
+//
+//	parallel sum(A) {
+//	    total %+= A[i][j];
+//	}
+//
+// Functions are applied to the interior elements of an aggregate; the
+// pseudo-variables i and j name the element the invocation operates on
+// (the paper's #0/#1).  Supported constructs: float expressions with
+// + - * /, comparisons, abs(), parenthesization; let bindings; if/else;
+// assignment to subscripted aggregate elements; the %+=, %min= and %max=
+// reduction assignments into scalar reduction variables.
+//
+// Compile analyzes the body (does every invocation write only its own
+// element?  does it read elements other invocations write?  are subscripts
+// analyzable at all?) and produces the cstar.AccessSummary that drives
+// plan selection, exactly the decision procedure Section 6 sketches.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single or multi char punctuation/operator
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// lexer splits source text into tokens.
+type lexer struct {
+	src    string
+	off    int
+	line   int
+	tokens []token
+}
+
+// lex tokenizes src.  It returns an error carrying line information for
+// the first bad character.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.off++
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.off++
+			}
+		case isIdentStart(rune(c)):
+			lx.ident()
+		case unicode.IsDigit(rune(c)) || (c == '.' && lx.off+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.off+1]))):
+			lx.number()
+		default:
+			if !lx.punct() {
+				return nil, fmt.Errorf("line %d: unexpected character %q", lx.line, c)
+			}
+		}
+	}
+	lx.emit(tokEOF, "", lx.off)
+	return lx.tokens, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func (lx *lexer) emit(k tokKind, text string, pos int) {
+	lx.tokens = append(lx.tokens, token{kind: k, text: text, pos: pos, line: lx.line})
+}
+
+func (lx *lexer) ident() {
+	start := lx.off
+	for lx.off < len(lx.src) && (isIdentStart(rune(lx.src[lx.off])) || unicode.IsDigit(rune(lx.src[lx.off]))) {
+		lx.off++
+	}
+	lx.emit(tokIdent, lx.src[start:lx.off], start)
+}
+
+func (lx *lexer) number() {
+	start := lx.off
+	seenDot := false
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if c == '.' && !seenDot {
+			seenDot = true
+			lx.off++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		lx.off++
+	}
+	lx.emit(tokNumber, lx.src[start:lx.off], start)
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"%max=", "%min=", "%+=", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (lx *lexer) punct() bool {
+	rest := lx.src[lx.off:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			lx.emit(tokPunct, op, lx.off)
+			lx.off += len(op)
+			return true
+		}
+	}
+	switch rest[0] {
+	case '+', '-', '*', '/', '(', ')', '[', ']', '{', '}', ';', ',', '=', '<', '>', '!':
+		lx.emit(tokPunct, rest[:1], lx.off)
+		lx.off++
+		return true
+	}
+	return false
+}

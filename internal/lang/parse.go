@@ -1,0 +1,432 @@
+package lang
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+//
+// Grammar:
+//
+//	program := "parallel" ident "(" ident ")" block
+//	block   := "{" stmt* "}"
+//	stmt    := "let" ident "=" expr ";"
+//	         | Agg "[" expr "]" "[" expr "]" "=" expr ";"
+//	         | ident ("%+=" | "%min=" | "%max=") expr ";"
+//	         | "if" "(" expr ")" block ("else" block)?
+//	expr    := or
+//	or      := and ("||" and)*
+//	and     := cmp ("&&" cmp)*
+//	cmp     := add (relop add)?
+//	add     := mul (("+" | "-") mul)*
+//	mul     := unary (("*" | "/") unary)*
+//	unary   := "-" unary | primary
+//	primary := number | "(" expr ")" | "abs" "(" expr ")"
+//	         | Agg "[" expr "]" "[" expr "]" | ident
+type parser struct {
+	toks []token
+	i    int
+	agg  string
+	fn   *Func
+	reds map[string]RedOp
+	lets map[string]bool
+}
+
+// Parse compiles source text to a Func.
+func Parse(src string) (*Func, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, reds: map[string]RedOp{}, lets: map[string]bool{}}
+	fn, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// accept consumes the next token if it is the given punctuation.
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expect consumes required punctuation.
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+// keyword consumes a required identifier keyword.
+func (p *parser) keyword(kw string) error {
+	if p.cur().kind != tokIdent || p.cur().text != kw {
+		return p.errf("expected %q, found %q", kw, p.cur().text)
+	}
+	p.i++
+	return nil
+}
+
+// identifier consumes any identifier.
+func (p *parser) identifier() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) program() (*Func, error) {
+	if err := p.keyword("parallel"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	agg, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	p.agg = agg
+	p.fn = &Func{Name: name, Agg: agg}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	p.fn.Body = body
+	if p.fn.Rank == 0 {
+		p.fn.Rank = 2 // no subscripted use: default to the matrix form
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input after function body: %q", p.cur().text)
+	}
+	return p.fn, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected statement, found %q", t.text)
+	}
+	switch t.text {
+	case "let":
+		p.i++
+		name, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		if p.isReserved(name) {
+			return nil, p.errf("cannot bind reserved name %q", name)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		p.lets[name] = true
+		return &letStmt{pos: t.pos, name: name, e: e}, nil
+	case "if":
+		p.i++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.cur().kind == tokIdent && p.cur().text == "else" {
+			p.i++
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ifStmt{pos: t.pos, cond: cond, then: then, els: els}, nil
+	case p.agg:
+		p.i++
+		ix, jx, err := p.subscripts()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &storeStmt{pos: t.pos, ix: ix, jx: jx, e: e}, nil
+	}
+	// Reduction assignment: ident %op= expr ;
+	name := t.text
+	p.i++
+	var op RedOp
+	switch p.cur().text {
+	case "%+=":
+		op = RedSum
+	case "%min=":
+		op = RedMin
+	case "%max=":
+		op = RedMax
+	default:
+		return nil, p.errf("expected a reduction assignment after %q, found %q", name, p.cur().text)
+	}
+	p.i++
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if prev, ok := p.reds[name]; ok && prev != op {
+		return nil, p.errf("reduction %q used with both %v and %v", name, prev, op)
+	}
+	if _, ok := p.reds[name]; !ok {
+		p.reds[name] = op
+		p.fn.Reductions = append(p.fn.Reductions, Reduction{Name: name, Op: op})
+	}
+	return &redStmt{pos: t.pos, name: name, op: op, e: e}, nil
+}
+
+func (p *parser) isReserved(name string) bool {
+	switch name {
+	case "i", "j", "rows", "cols", "abs", "let", "if", "else", "parallel", p.agg:
+		return true
+	}
+	return false
+}
+
+// subscripts parses A's one or two subscripts and checks the aggregate is
+// used with a consistent rank throughout the function.
+func (p *parser) subscripts() (expr, expr, error) {
+	if err := p.expect("["); err != nil {
+		return nil, nil, err
+	}
+	ix, err := p.expr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, nil, err
+	}
+	var jx expr
+	rank := 1
+	if p.cur().kind == tokPunct && p.cur().text == "[" {
+		p.i++
+		jx, err = p.expr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, nil, err
+		}
+		rank = 2
+	}
+	if p.fn.Rank == 0 {
+		p.fn.Rank = rank
+	} else if p.fn.Rank != rank {
+		return nil, nil, p.errf("aggregate %q used as both %d-D and %d-D", p.agg, p.fn.Rank, rank)
+	}
+	return ix, jx, nil
+}
+
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "||" {
+		pos := p.next().pos
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: pos, op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "&&" {
+		pos := p.next().pos
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: pos, op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().text {
+	case "==", "!=", "<", "<=", ">", ">=":
+		op := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &binOp{pos: op.pos, op: op.text, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: op.pos, op: op.text, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binOp{pos: op.pos, op: op.text, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (expr, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "-" {
+		pos := p.next().pos
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &negOp{pos: pos, e: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		var v float64
+		if _, err := fmt.Sscanf(t.text, "%g", &v); err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &numLit{pos: t.pos, v: v}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && t.text == "abs":
+		p.i++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &absCall{pos: t.pos, e: e}, nil
+	case t.kind == tokIdent && t.text == p.agg:
+		p.i++
+		ix, jx, err := p.subscripts()
+		if err != nil {
+			return nil, err
+		}
+		return &aggRef{pos: t.pos, ix: ix, jx: jx}, nil
+	case t.kind == tokIdent:
+		p.i++
+		switch t.text {
+		case "i", "j", "rows", "cols":
+			return &varRef{pos: t.pos, name: t.text}, nil
+		default:
+			if !p.lets[t.text] {
+				return nil, p.errf("unknown name %q", t.text)
+			}
+			return &varRef{pos: t.pos, name: t.text}, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}

@@ -1,0 +1,109 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed function back to canonical source form: stable
+// spacing, one statement per line, explicit parentheses only where the
+// grammar needs them.  Round-tripping Format through Parse yields an
+// equivalent AST (see TestFormatRoundTrip), which makes it useful both
+// for debugging the compiler and for golden tests.
+func Format(fn *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel %s(%s) {\n", fn.Name, fn.Agg)
+	printStmts(&b, fn.Body, 1, fn.Agg)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printStmts(b *strings.Builder, ss []stmt, depth int, agg string) {
+	for _, s := range ss {
+		indent(b, depth)
+		switch v := s.(type) {
+		case *letStmt:
+			fmt.Fprintf(b, "let %s = %s;\n", v.name, formatExpr(v.e, agg, 0))
+		case *storeStmt:
+			b.WriteString(agg)
+			printSubscripts(b, v.ix, v.jx, agg)
+			fmt.Fprintf(b, " = %s;\n", formatExpr(v.e, agg, 0))
+		case *redStmt:
+			fmt.Fprintf(b, "%s %s %s;\n", v.name, v.op, formatExpr(v.e, agg, 0))
+		case *ifStmt:
+			fmt.Fprintf(b, "if (%s) {\n", formatExpr(v.cond, agg, 0))
+			printStmts(b, v.then, depth+1, agg)
+			indent(b, depth)
+			if len(v.els) > 0 {
+				b.WriteString("} else {\n")
+				printStmts(b, v.els, depth+1, agg)
+				indent(b, depth)
+			}
+			b.WriteString("}\n")
+		}
+	}
+}
+
+func printSubscripts(b *strings.Builder, ix, jx expr, agg string) {
+	fmt.Fprintf(b, "[%s]", formatExpr(ix, agg, 0))
+	if jx != nil {
+		fmt.Fprintf(b, "[%s]", formatExpr(jx, agg, 0))
+	}
+}
+
+// precedence levels for minimal parenthesization, matching the grammar:
+// 1 ||, 2 &&, 3 comparisons, 4 + -, 5 * /, 6 unary/primary.
+func opPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	default: // * /
+		return 5
+	}
+}
+
+// formatExpr renders e, parenthesizing when its precedence is below the
+// context's.
+func formatExpr(e expr, agg string, ctx int) string {
+	switch v := e.(type) {
+	case *numLit:
+		if v.v == float64(int64(v.v)) {
+			return fmt.Sprintf("%d", int64(v.v))
+		}
+		return fmt.Sprintf("%g", v.v)
+	case *varRef:
+		return v.name
+	case *negOp:
+		return "-" + formatExpr(v.e, agg, 6)
+	case *absCall:
+		return "abs(" + formatExpr(v.e, agg, 0) + ")"
+	case *aggRef:
+		var b strings.Builder
+		b.WriteString(agg)
+		printSubscripts(&b, v.ix, v.jx, agg)
+		return b.String()
+	case *binOp:
+		p := opPrec(v.op)
+		// Left-associative grammar: the right operand needs one level
+		// more to force re-grouping on round trip.
+		s := formatExpr(v.l, agg, p) + " " + v.op + " " + formatExpr(v.r, agg, p+1)
+		if p < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,65 @@
+package lang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatGolden(t *testing.T) {
+	fn, err := Parse(thresholdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `parallel threshold(A) {
+    let v = A[i][j];
+    let nv = (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]) * 0.25;
+    if (abs(nv - v) > 0.05) {
+        A[i][j] = nv;
+    }
+}
+`
+	if got := Format(fn); got != want {
+		t.Fatalf("format:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Round trip: parsing the formatted source reproduces an equivalent AST
+// (compared via a second Format, which is canonical).
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range []string{stencilSrc, thresholdSrc, sumSrc, vectorSrc,
+		`parallel p(A) { A[i][j] = -(A[i][j] - 1) * (2 + 3 * 4); }`,
+		`parallel q(A) { if (i < 2 && j > 1 || i == j) { A[i][j] = i / (j + 1); } else { t %+= 1; } }`,
+	} {
+		fn, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		once := Format(fn)
+		fn2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("reparse failed:\n%s\n%v", once, err)
+		}
+		twice := Format(fn2)
+		if once != twice {
+			t.Fatalf("not a fixed point:\n%s\nvs\n%s", once, twice)
+		}
+		// Structural equivalence of the two ASTs (ignoring positions is
+		// impractical with reflect, so compare canonical text instead;
+		// additionally reductions and rank must survive).
+		if fn.Rank != fn2.Rank || !reflect.DeepEqual(fn.Reductions, fn2.Reductions) {
+			t.Fatalf("metadata changed: %v/%v vs %v/%v", fn.Rank, fn.Reductions, fn2.Rank, fn2.Reductions)
+		}
+	}
+}
+
+func TestFormatPrecedence(t *testing.T) {
+	fn, err := Parse(`parallel p(A) { A[i][j] = (1 + 2) * 3 - 4 / (5 - 6); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(fn)
+	if !strings.Contains(out, "(1 + 2) * 3 - 4 / (5 - 6)") {
+		t.Fatalf("parenthesization lost:\n%s", out)
+	}
+}

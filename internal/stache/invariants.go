@@ -1,0 +1,73 @@
+package stache
+
+import (
+	"fmt"
+
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// CheckInvariants audits the directory against every node's access tags
+// and returns the first violation found, or nil.  It may only run while
+// the machine is quiescent (between Run calls or inside a barrier window).
+//
+// Invariants of the Stache protocol, per block:
+//
+//   - stateIdle: no node holds a readable copy.
+//   - stateShared: exactly the nodes in the sharer mask hold copies, all
+//     read-only.
+//   - stateExcl: exactly the owner holds a copy, read-write; nobody else
+//     holds any access.
+//   - No line anywhere carries TagPrivate (that tag belongs to LCM).
+func (p *Protocol) CheckInvariants() error {
+	for bi := range p.entries {
+		b := memsys.BlockID(bi)
+		// When embedded inside LCM, this protocol only governs
+		// coherent regions; loose blocks legitimately carry private
+		// tags and are audited by the LCM checker.
+		if p.m.AS.RegionOfBlock(b).Kind != memsys.KindCoherent {
+			continue
+		}
+		if err := p.checkBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBlock verifies one block's directory entry.
+func (p *Protocol) checkBlock(b memsys.BlockID) error {
+	e := &p.entries[b]
+	for id, nd := range p.m.Nodes {
+		l := nd.Line(b)
+		tag := tempest.TagInvalid
+		if l != nil {
+			tag = l.Tag()
+		}
+		if tag == tempest.TagPrivate {
+			return fmt.Errorf("stache: node %d holds private tag on block %d", id, b)
+		}
+		bit := uint64(1) << uint(id)
+		switch e.state {
+		case stateIdle:
+			if tag != tempest.TagInvalid {
+				return fmt.Errorf("stache: idle block %d readable at node %d (%s)", b, id, tempest.TagName(tag))
+			}
+		case stateShared:
+			switch {
+			case e.sharers&bit != 0 && tag != tempest.TagReadOnly:
+				return fmt.Errorf("stache: block %d sharer %d has tag %s", b, id, tempest.TagName(tag))
+			case e.sharers&bit == 0 && tag != tempest.TagInvalid:
+				return fmt.Errorf("stache: block %d non-sharer %d has tag %s", b, id, tempest.TagName(tag))
+			}
+		case stateExcl:
+			switch {
+			case id == int(e.owner) && tag != tempest.TagReadWrite:
+				return fmt.Errorf("stache: block %d owner %d has tag %s", b, id, tempest.TagName(tag))
+			case id != int(e.owner) && tag != tempest.TagInvalid:
+				return fmt.Errorf("stache: block %d non-owner %d has tag %s", b, id, tempest.TagName(tag))
+			}
+		}
+	}
+	return nil
+}

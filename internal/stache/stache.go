@@ -1,0 +1,292 @@
+// Package stache implements the baseline user-level coherence protocol of
+// the paper: Stache, a sequentially consistent, directory-based,
+// write-invalidate protocol in which a processor's local memory acts as a
+// large, fully associative cache for remote data (Reinhardt, Larus & Wood,
+// "Tempest and Typhoon", ISCA 1994).
+//
+// In RSM terms (Section 3 of the LCM paper), Stache is the degenerate
+// instance of Reconcilable Shared Memory: its request policy permits at
+// most one outstanding writable copy of a block, and its reconciliation
+// function simply makes a returned writable copy the new value of the
+// location.
+//
+// The simulation does not model capacity evictions: the paper's Stache
+// backs cached blocks with all of local memory, so for the benchmark sizes
+// used here a block fetched by a node stays resident until the protocol
+// invalidates it.  A home node's own blocks live in the home memory image
+// and cost a local fill on first touch.
+package stache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+	"lcm/internal/trace"
+)
+
+// dirState is the home directory state of one block.
+type dirState uint8
+
+const (
+	// stateIdle: only the home memory image is valid; no cached copies.
+	stateIdle dirState = iota
+	// stateShared: one or more read-only copies; home image valid.
+	stateShared
+	// stateExcl: exactly one read-write copy; home image stale.
+	stateExcl
+)
+
+// entry is one block's home directory record.  Guarded by the block's lock.
+type entry struct {
+	sharers uint64 // bitmask of nodes holding read-only copies
+	owner   uint8  // exclusive owner when state == stateExcl
+	state   dirState
+}
+
+// Protocol is the Stache coherence protocol.  One instance serves one
+// machine.  It also serves as the coherent-region fallback inside the LCM
+// protocol (internal/core).
+type Protocol struct {
+	m       *tempest.Machine
+	entries []entry
+}
+
+// New creates a Stache protocol instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements tempest.Protocol.
+func (p *Protocol) Name() string { return "stache" }
+
+// Attach implements tempest.Protocol.
+func (p *Protocol) Attach(m *tempest.Machine) {
+	if m.P > 64 {
+		panic("stache: at most 64 nodes (sharer bitmask)")
+	}
+	p.m = m
+	p.entries = make([]entry, m.AS.NumBlocks())
+}
+
+// Entry state inspection for tests: returns (state name, owner, sharers).
+func (p *Protocol) inspect(b memsys.BlockID) (string, int, uint64) {
+	e := &p.entries[b]
+	switch e.state {
+	case stateIdle:
+		return "idle", -1, e.sharers
+	case stateShared:
+		return "shared", -1, e.sharers
+	case stateExcl:
+		return "excl", int(e.owner), e.sharers
+	}
+	return "?", -1, 0
+}
+
+// chargeMiss charges the requester for a data-carrying miss and counts it.
+// threeHop records whether a dirty remote owner had to be consulted.
+func (p *Protocol) chargeMiss(n *tempest.Node, home int, threeHop bool) {
+	c := p.m.Cost
+	n.Ctr.Misses++
+	if home == n.ID && !threeHop {
+		n.Charge(c.LocalFill)
+		n.Ctr.LocalFills++
+		return
+	}
+	n.Charge(c.RemoteRoundTrip + int64(p.m.AS.BlockSize)*c.PerByte)
+	n.Ctr.RemoteMisses++
+	if threeHop {
+		n.Charge(c.ThirdHop)
+	}
+	if home != n.ID {
+		p.m.Nodes[home].ChargeRemote(c.HomeOccupancy)
+	}
+}
+
+// recallDirty downgrades or invalidates the exclusive owner's copy.
+// Coherent stores write through to the home image (see tempest), so the
+// home already holds the owner's data; only the owner's access rights
+// change.  Caller holds b's lock.
+func (p *Protocol) recallDirty(b memsys.BlockID, e *entry, downgradeTo tempest.Tag) {
+	owner := p.m.Nodes[e.owner]
+	l := owner.Line(b)
+	if l == nil {
+		panic(fmt.Sprintf("stache: directory says node %d owns block %d but it has no line", e.owner, b))
+	}
+	l.SetTag(downgradeTo)
+}
+
+// ReadFault implements tempest.Protocol: obtain a read-only copy.
+func (p *Protocol) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
+	m := p.m
+	home := m.AS.HomeOf(b)
+	m.Lock(b)
+	defer m.Unlock(b)
+	e := &p.entries[b]
+	threeHop := false
+	if e.state == stateExcl {
+		if int(e.owner) == n.ID {
+			// Our own line must still be readable; a read fault here
+			// means the tag was dropped without telling the
+			// directory, which is a protocol bug.
+			panic(fmt.Sprintf("stache: node %d read fault on its own exclusive block %d", n.ID, b))
+		}
+		p.recallDirty(b, e, tempest.TagReadOnly)
+		e.sharers = 1 << e.owner
+		e.state = stateShared
+		threeHop = true
+	}
+	l := n.Install(b, m.AS.HomeData(b), tempest.TagReadOnly)
+	e.sharers |= 1 << uint(n.ID)
+	e.state = stateShared
+	p.chargeMiss(n, home, threeHop)
+	if t := m.Trace; t != nil {
+		t.Record(n.ID, n.Clock(), trace.ReadMiss, uint32(b), 0)
+	}
+	return l
+}
+
+// WriteFault implements tempest.Protocol: obtain the (single) writable
+// copy, invalidating all other copies.
+func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
+	m := p.m
+	home := m.AS.HomeOf(b)
+	m.Lock(b)
+	defer m.Unlock(b)
+	e := &p.entries[b]
+
+	if e.state == stateExcl {
+		if int(e.owner) == n.ID {
+			panic(fmt.Sprintf("stache: node %d write fault on its own exclusive block %d", n.ID, b))
+		}
+		// Three-hop: recall the dirty copy, invalidate the old owner.
+		p.recallDirty(b, e, tempest.TagInvalid)
+		n.Ctr.InvalidationsSent++
+		n.Charge(m.Cost.InvalidatePerCopy)
+		e.sharers = 0
+		e.state = stateIdle
+		l := n.Install(b, m.AS.HomeData(b), tempest.TagReadWrite)
+		e.state = stateExcl
+		e.owner = uint8(n.ID)
+		p.chargeMiss(n, home, true)
+		if t := m.Trace; t != nil {
+			t.Record(n.ID, n.Clock(), trace.WriteMiss, uint32(b), 0)
+		}
+		return l
+	}
+
+	// Invalidate outstanding read-only copies (other than ours).
+	p.invalidateSharers(n, b, e)
+
+	self := uint64(1) << uint(n.ID)
+	var l *tempest.Line
+	if e.sharers&self != 0 || hasValidLine(n, b) {
+		// Upgrade in place: we already hold the current data read-only.
+		l = n.Line(b)
+		l.SetTag(tempest.TagReadWrite)
+		n.Ctr.Upgrades++
+		if home == n.ID {
+			n.Charge(m.Cost.MarkLocal)
+		} else {
+			n.Charge(m.Cost.Upgrade)
+			p.m.Nodes[home].ChargeRemote(m.Cost.HomeOccupancy)
+		}
+	} else {
+		l = n.Install(b, m.AS.HomeData(b), tempest.TagReadWrite)
+		p.chargeMiss(n, home, false)
+	}
+	if t := m.Trace; t != nil {
+		k := trace.WriteMiss
+		if l.Tag() == tempest.TagReadWrite && e.sharers&(1<<uint(n.ID)) != 0 {
+			k = trace.Upgrade
+		}
+		t.Record(n.ID, n.Clock(), k, uint32(b), 0)
+	}
+	e.sharers = 0
+	e.state = stateExcl
+	e.owner = uint8(n.ID)
+	return l
+}
+
+// hasValidLine reports whether n holds a readable line for b (used when the
+// directory lost track, which cannot happen under the invariants but keeps
+// the upgrade path robust).
+func hasValidLine(n *tempest.Node, b memsys.BlockID) bool {
+	l := n.Line(b)
+	return l != nil && l.Tag() >= tempest.TagReadOnly
+}
+
+// invalidateSharers invalidates all read-only copies other than n's own and
+// charges n for them.  Caller holds b's lock.  Returns the count.
+func (p *Protocol) invalidateSharers(n *tempest.Node, b memsys.BlockID, e *entry) int {
+	count := 0
+	for s := e.sharers &^ (1 << uint(n.ID)); s != 0; s &= s - 1 {
+		id := bits.TrailingZeros64(s)
+		if l := p.m.Nodes[id].Line(b); l != nil {
+			l.SetTag(tempest.TagInvalid)
+		}
+		if t := p.m.Trace; t != nil {
+			t.Record(n.ID, n.Clock(), trace.Invalidate, uint32(b), int32(id))
+		}
+		count++
+	}
+	if count > 0 {
+		n.Ctr.InvalidationsSent += int64(count)
+		n.Charge(int64(count) * p.m.Cost.InvalidatePerCopy)
+	}
+	return count
+}
+
+// Evict implements tempest.Protocol: drop n's copy of b, updating the
+// directory.  Coherent stores write through, so the home image is already
+// current and even a dirty exclusive copy can be dropped after charging
+// the write-back message.
+func (p *Protocol) Evict(n *tempest.Node, b memsys.BlockID) bool {
+	m := p.m
+	m.Lock(b)
+	defer m.Unlock(b)
+	l := n.Line(b)
+	if l == nil || l.Tag() == tempest.TagInvalid {
+		return true
+	}
+	e := &p.entries[b]
+	switch {
+	case e.state == stateExcl && int(e.owner) == n.ID:
+		e.state = stateIdle
+		e.sharers = 0
+		n.Charge(m.Cost.FlushPerBlock) // dirty write-back message
+	default:
+		e.sharers &^= 1 << uint(n.ID)
+		if e.sharers == 0 && e.state == stateShared {
+			e.state = stateIdle
+		}
+		n.Charge(m.Cost.MarkLocal) // silent drop of a clean copy
+	}
+	l.SetTag(tempest.TagInvalid)
+	return true
+}
+
+// DrainToHome is retained for API symmetry with earlier revisions: since
+// coherent stores write through to the home image, the home copy of every
+// block is already current and there is nothing to drain.
+func (p *Protocol) DrainToHome() {}
+
+// MarkModification implements tempest.Protocol.  Under plain coherent
+// memory the directive degenerates to "make the block writable", which is
+// what the C** compiler's explicit-copying code needs anyway.
+func (p *Protocol) MarkModification(n *tempest.Node, addr memsys.Addr) {
+	b := p.m.AS.Block(addr)
+	if l := n.Line(b); l == nil || l.Tag() < tempest.TagReadWrite {
+		p.WriteFault(n, b)
+	}
+}
+
+// FlushCopies implements tempest.Protocol.  Coherent memory has no private
+// copies to flush; this is a no-op.
+func (p *Protocol) FlushCopies(*tempest.Node) {}
+
+// ReconcileCopies implements tempest.Protocol.  Coherent memory is always
+// reconciled; the directive degenerates to the global barrier, which keeps
+// workload code identical across memory systems.
+func (p *Protocol) ReconcileCopies(n *tempest.Node) { n.Barrier() }
+
+var _ tempest.Protocol = (*Protocol)(nil)

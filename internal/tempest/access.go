@@ -1,0 +1,183 @@
+package tempest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lcm/internal/memsys"
+)
+
+// This file implements the program-visible load/store interface.  Every
+// access checks the node's fine-grain access-control tag for the block
+// (Blizzard-E's lookup) and traps to the protocol's user-level handler on a
+// tag violation.  Accesses must not straddle block boundaries; the C**
+// runtime allocates aggregates element-aligned so they never do.
+
+// readable returns the line for b if a load is permitted, else nil.
+func (n *Node) readable(b memsys.BlockID) *Line {
+	if l := n.lines[b]; l != nil && l.Tag() >= TagReadOnly {
+		return l
+	}
+	return nil
+}
+
+// writable returns the line for b if a store is permitted, else nil.
+func (n *Node) writable(b memsys.BlockID) *Line {
+	if l := n.lines[b]; l != nil && l.Tag() >= TagReadWrite {
+		return l
+	}
+	return nil
+}
+
+// loadLine returns a readable line for the block containing a, faulting to
+// the protocol if necessary, and charges the hit cost.
+func (n *Node) loadLine(a memsys.Addr, size uint32) (*Line, uint32) {
+	b, off := n.M.AS.Split(a)
+	if off+size > n.M.AS.BlockSize {
+		panic(fmt.Sprintf("tempest: load of %d bytes at %#x straddles block boundary", size, a))
+	}
+	l := n.readable(b)
+	if l == nil {
+		n.makeRoom()
+		l = n.M.protocol.ReadFault(n, b)
+	}
+	n.clock += n.M.Cost.CacheHit
+	n.Ctr.Hits++
+	return l, off
+}
+
+// Stores fault to the protocol if the access-control tags disallow them
+// and charge the hit cost.
+//
+// Stores to private (LCM) copies touch only the node-local line and need
+// no locking.  Stores to coherent exclusive copies additionally write
+// through to the home image under the block's lock: protocol handlers can
+// then serve the current value of any coherent block from the home image
+// without ever reading another node's line buffer while its owner might be
+// storing — this is what makes the simulator race-free under the Go memory
+// model even for programs with genuine (application-level) data races,
+// such as the false-sharing ablation.  The write-through is a simulation
+// mechanism, not a modelled cost: a permitted store still charges one
+// cache hit.
+
+// store32 implements the 4-byte store path.
+func (n *Node) store32(a memsys.Addr, v uint32) {
+	b, off := n.M.AS.Split(a)
+	if off+4 > n.M.AS.BlockSize {
+		panic(fmt.Sprintf("tempest: store of 4 bytes at %#x straddles block boundary", a))
+	}
+	l := n.writable(b)
+	if l == nil {
+		n.makeRoom()
+		l = n.M.protocol.WriteFault(n, b)
+	}
+	n.clock += n.M.Cost.CacheHit
+	n.Ctr.Hits++
+	if l.Tag() == TagPrivate {
+		binary.LittleEndian.PutUint32(l.Data[off:], v)
+		if n.M.trackWrites {
+			n.recordWrite(b, l, off, 4)
+		}
+		return
+	}
+	n.M.Lock(b)
+	binary.LittleEndian.PutUint32(l.Data[off:], v)
+	binary.LittleEndian.PutUint32(n.M.AS.HomeData(b)[off:], v)
+	n.M.Unlock(b)
+}
+
+// store64 implements the 8-byte store path.
+func (n *Node) store64(a memsys.Addr, v uint64) {
+	b, off := n.M.AS.Split(a)
+	if off+8 > n.M.AS.BlockSize {
+		panic(fmt.Sprintf("tempest: store of 8 bytes at %#x straddles block boundary", a))
+	}
+	l := n.writable(b)
+	if l == nil {
+		n.makeRoom()
+		l = n.M.protocol.WriteFault(n, b)
+	}
+	n.clock += n.M.Cost.CacheHit
+	n.Ctr.Hits++
+	if l.Tag() == TagPrivate {
+		binary.LittleEndian.PutUint64(l.Data[off:], v)
+		if n.M.trackWrites {
+			n.recordWrite(b, l, off, 8)
+		}
+		return
+	}
+	n.M.Lock(b)
+	binary.LittleEndian.PutUint64(l.Data[off:], v)
+	binary.LittleEndian.PutUint64(n.M.AS.HomeData(b)[off:], v)
+	n.M.Unlock(b)
+}
+
+// ReadU32 loads a 32-bit word.
+func (n *Node) ReadU32(a memsys.Addr) uint32 {
+	l, off := n.loadLine(a, 4)
+	return binary.LittleEndian.Uint32(l.Data[off:])
+}
+
+// WriteU32 stores a 32-bit word.
+func (n *Node) WriteU32(a memsys.Addr, v uint32) { n.store32(a, v) }
+
+// ReadU64 loads a 64-bit word.
+func (n *Node) ReadU64(a memsys.Addr) uint64 {
+	l, off := n.loadLine(a, 8)
+	return binary.LittleEndian.Uint64(l.Data[off:])
+}
+
+// WriteU64 stores a 64-bit word.
+func (n *Node) WriteU64(a memsys.Addr, v uint64) { n.store64(a, v) }
+
+// ReadF32 loads a single-precision float (the element type of the paper's
+// meshes: a 32-byte block holds eight of them).
+func (n *Node) ReadF32(a memsys.Addr) float32 {
+	return math.Float32frombits(n.ReadU32(a))
+}
+
+// WriteF32 stores a single-precision float.
+func (n *Node) WriteF32(a memsys.Addr, v float32) {
+	n.WriteU32(a, math.Float32bits(v))
+}
+
+// ReadF64 loads a double-precision float.
+func (n *Node) ReadF64(a memsys.Addr) float64 {
+	return math.Float64frombits(n.ReadU64(a))
+}
+
+// WriteF64 stores a double-precision float.
+func (n *Node) WriteF64(a memsys.Addr, v float64) {
+	n.WriteU64(a, math.Float64bits(v))
+}
+
+// ReadI32 loads a 32-bit signed integer.
+func (n *Node) ReadI32(a memsys.Addr) int32 { return int32(n.ReadU32(a)) }
+
+// WriteI32 stores a 32-bit signed integer.
+func (n *Node) WriteI32(a memsys.Addr, v int32) { n.WriteU32(a, uint32(v)) }
+
+// ReadI64 loads a 64-bit signed integer.
+func (n *Node) ReadI64(a memsys.Addr) int64 { return int64(n.ReadU64(a)) }
+
+// WriteI64 stores a 64-bit signed integer.
+func (n *Node) WriteI64(a memsys.Addr, v int64) { n.WriteU64(a, uint64(v)) }
+
+// recordWrite marks the stored words in the line's write mask when the
+// block's region is conflict-checked, so reconciliation can detect
+// value-equal stores as modifications (footnote 2 of the paper: trap
+// stores and record modified words).  The simulator records directly
+// instead of trapping; the observable semantics are the trap scheme's.
+func (n *Node) recordWrite(b memsys.BlockID, l *Line, off, size uint32) {
+	if !n.M.AS.RegionOfBlock(b).ConflictCheck {
+		return
+	}
+	for w := off / 4; w < (off+size)/4; w++ {
+		l.WMask |= 1 << w
+	}
+}
+
+// Compute charges units of abstract computation to the node (workloads use
+// this so arithmetic is not free relative to communication).
+func (n *Node) Compute(units int64) { n.clock += units * n.M.Cost.Compute }

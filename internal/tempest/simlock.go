@@ -1,0 +1,33 @@
+package tempest
+
+import "sync"
+
+// SimLock is a simulated inter-node lock.  It provides real mutual
+// exclusion for the simulator (so critical-section data movement is
+// race-free under the Go memory model) and models the lock's virtual-time
+// behaviour: acquisition costs a remote round trip and the holder's
+// critical sections serialize, so virtual time exposes the bottleneck a
+// contended lock creates — exactly the effect Section 7.1 contrasts with
+// RSM reductions.
+type SimLock struct {
+	mu          sync.Mutex
+	lastRelease int64
+}
+
+// Acquire takes the lock.  The caller's clock advances past the previous
+// holder's release time (serialization) plus the lock-transfer round trip.
+func (lk *SimLock) Acquire(n *Node) {
+	lk.mu.Lock()
+	n.FoldStolen()
+	if lk.lastRelease > n.Clock() {
+		n.Charge(lk.lastRelease - n.Clock())
+	}
+	n.Charge(n.M.Cost.RemoteRoundTrip)
+}
+
+// Release releases the lock, recording the holder's clock as the earliest
+// time the next holder can enter.
+func (lk *SimLock) Release(n *Node) {
+	lk.lastRelease = n.Clock()
+	lk.mu.Unlock()
+}

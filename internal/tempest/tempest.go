@@ -1,0 +1,454 @@
+// Package tempest implements the simulated parallel machine that plays the
+// role of the paper's CM-5 + Blizzard-E substrate.
+//
+// The machine is a collection of autonomous nodes connected by a
+// point-to-point network.  Each node runs its program on its own goroutine
+// and owns a virtual cycle clock.  Every program load and store consults
+// the node's fine-grain access-control tag for the addressed block —
+// exactly the control point Blizzard-E instruments — and a disallowed
+// access invokes the active coherence protocol's user-level fault handler.
+// Protocol handlers run synchronously in the faulting node's goroutine
+// under the block's home lock, charging the requester the modelled network
+// latency and the home node a handler-occupancy charge; this mirrors the
+// execution-driven simulation methodology of the Wisconsin Wind Tunnel
+// project from which the paper comes.
+//
+// The package deliberately exposes the Tempest control points and nothing
+// more: access-control tags, block data transfer, fault-handler dispatch,
+// and barriers.  Coherence policy lives entirely in user-level protocol
+// packages (internal/stache, internal/core).
+package tempest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lcm/internal/cost"
+	"lcm/internal/memsys"
+	"lcm/internal/stats"
+	"lcm/internal/trace"
+)
+
+// Tag is a fine-grain access-control tag.  Order matters: a load is legal
+// when tag >= TagReadOnly, a store when tag >= TagReadWrite.
+type Tag = uint32
+
+const (
+	// TagInvalid: no access; any reference faults.
+	TagInvalid Tag = iota
+	// TagReadOnly: loads succeed, stores fault.
+	TagReadOnly
+	// TagReadWrite: exclusive coherent copy; loads and stores succeed.
+	TagReadWrite
+	// TagPrivate: LCM private-modified copy; loads and stores succeed but
+	// the contents are intentionally inconsistent with global memory
+	// until reconciliation.
+	TagPrivate
+)
+
+// TagName returns a short human-readable tag name for traces and tests.
+func TagName(t Tag) string {
+	switch t {
+	case TagInvalid:
+		return "inv"
+	case TagReadOnly:
+		return "ro"
+	case TagReadWrite:
+		return "rw"
+	case TagPrivate:
+		return "priv"
+	default:
+		return fmt.Sprintf("tag(%d)", t)
+	}
+}
+
+// Line is a node's cached copy of one block.  The tag is atomic because
+// remote protocol handlers revoke access concurrently with the owner's tag
+// checks; everything else is mutated only by the owning node's goroutine or
+// under the block's lock (see the data-movement rules in DESIGN.md).
+type Line struct {
+	tag atomic.Uint32
+
+	// Data is the cached copy, blockSize bytes.
+	Data []byte
+
+	// Clean is the node-local clean copy kept by LCM-mcc (nil when none).
+	Clean []byte
+
+	// Gen is protocol scratch: LCM stores the reconcile-phase generation
+	// in which the line was installed or marked.
+	Gen uint32
+
+	// CleanGen is the reconcile-phase generation in which Clean was
+	// captured; a clean copy is only valid within its own phase.
+	CleanGen uint32
+
+	// Marked records that the line is on the node's marked-blocks list
+	// for the current invocation (owner goroutine only).
+	Marked bool
+
+	// inFIFO records residency-queue membership for capacity-limited
+	// machines (owner goroutine only).
+	inFIFO bool
+
+	// WMask records which 32-bit words of a private copy were stored to
+	// since the last mark, at store granularity (owner goroutine only).
+	// Maintained only for conflict-checked regions, where reconciliation
+	// must see value-equal stores as modifications (the paper's footnote
+	// 2 store-trapping scheme).
+	WMask uint64
+}
+
+// Tag returns the line's current access tag.
+func (l *Line) Tag() Tag { return l.tag.Load() }
+
+// SetTag stores a new access tag.  Callers must either be the owning node's
+// goroutine or hold the block's lock.
+func (l *Line) SetTag(t Tag) { l.tag.Store(t) }
+
+// Protocol is a user-level coherence protocol: the policy code that Tempest
+// dispatches to on access faults and memory-system directives.  Fault
+// handlers run in the faulting node's goroutine and must return a line with
+// a tag permitting the faulted access.
+type Protocol interface {
+	// Name identifies the protocol in reports ("stache", "lcm-mcc", ...).
+	Name() string
+
+	// Attach is called once at Machine.Freeze so the protocol can size
+	// its per-block directory state.
+	Attach(m *Machine)
+
+	// ReadFault handles a load with no readable copy.
+	ReadFault(n *Node, b memsys.BlockID) *Line
+
+	// WriteFault handles a store with no writable copy.
+	WriteFault(n *Node, b memsys.BlockID) *Line
+
+	// MarkModification is the LCM directive: create an inconsistent
+	// writable copy of the block containing addr (Section 5.1).
+	// Coherent protocols treat it as an ordinary write preparation.
+	MarkModification(n *Node, addr memsys.Addr)
+
+	// FlushCopies is the LCM directive: return this node's modified
+	// copies to their homes for (partial) reconciliation, so the next
+	// invocation cannot observe them.
+	FlushCopies(n *Node)
+
+	// ReconcileCopies is the LCM directive: a global barrier after which
+	// memory is coherent again.  Every node must call it.
+	ReconcileCopies(n *Node)
+
+	// Evict asks the protocol to drop node n's copy of block b to make
+	// room (capacity-limited configurations).  It returns false when the
+	// copy cannot be discarded — LCM refuses to evict private-modified
+	// blocks, whose only copy of the modifications lives in the cache.
+	Evict(n *Node, b memsys.BlockID) bool
+}
+
+// Machine is the simulated multicomputer.
+type Machine struct {
+	P     int
+	AS    *memsys.AddressSpace
+	Cost  cost.Model
+	Nodes []*Node
+
+	// Shared holds machine-wide protocol counters.
+	Shared stats.Shared
+
+	// Trace, when non-nil, records protocol events (see internal/trace).
+	// Attach with AttachTrace before Run.
+	Trace *trace.Buffer
+
+	// CacheLines bounds each node's resident blocks (0 = unbounded, the
+	// default: the paper's Stache backs caching with all of local
+	// memory).  When set, a fault on a full cache first evicts the
+	// oldest resident block FIFO-style.  Set before Run.
+	CacheLines int
+
+	protocol Protocol
+	locks    []sync.Mutex
+	bar      *Barrier
+	frozen   bool
+
+	// trackWrites is set at Freeze when any region requests conflict
+	// checking; it gates the per-store word recording.
+	trackWrites bool
+}
+
+// New creates a machine with p nodes and the given block size and cost
+// model.  Allocate regions through AS, install a protocol with SetProtocol,
+// then call Freeze before Run.
+func New(p int, blockSize uint32, c cost.Model) *Machine {
+	m := &Machine{
+		P:    p,
+		AS:   memsys.NewAddressSpace(p, blockSize),
+		Cost: c,
+		bar:  NewBarrier(p),
+	}
+	m.Nodes = make([]*Node, p)
+	for i := range m.Nodes {
+		m.Nodes[i] = &Node{ID: i, M: m}
+	}
+	return m
+}
+
+// SetProtocol installs the coherence protocol.  Must precede Freeze.
+func (m *Machine) SetProtocol(p Protocol) {
+	if m.frozen {
+		panic("tempest: SetProtocol after Freeze")
+	}
+	m.protocol = p
+}
+
+// Protocol returns the installed protocol.
+func (m *Machine) Protocol() Protocol { return m.protocol }
+
+// Freeze finalizes the address space, sizes per-node line tables and block
+// locks, and attaches the protocol.  Must be called exactly once, after all
+// allocation and before Run.
+func (m *Machine) Freeze() {
+	if m.frozen {
+		panic("tempest: double Freeze")
+	}
+	if m.protocol == nil {
+		panic("tempest: Freeze without a protocol")
+	}
+	m.frozen = true
+	m.AS.Freeze()
+	n := m.AS.NumBlocks()
+	m.locks = make([]sync.Mutex, n)
+	for _, nd := range m.Nodes {
+		nd.lines = make([]*Line, n)
+	}
+	for _, r := range m.AS.Regions() {
+		if r.ConflictCheck {
+			m.trackWrites = true
+		}
+	}
+	m.protocol.Attach(m)
+}
+
+// Frozen reports whether Freeze has run.
+func (m *Machine) Frozen() bool { return m.frozen }
+
+// Lock acquires the home/directory lock of block b.  All protocol state
+// transitions and cross-node data movement for b happen under this lock.
+func (m *Machine) Lock(b memsys.BlockID) { m.locks[b].Lock() }
+
+// Unlock releases block b's lock.
+func (m *Machine) Unlock(b memsys.BlockID) { m.locks[b].Unlock() }
+
+// Barrier returns the machine's global barrier.
+func (m *Machine) Barrier() *Barrier { return m.bar }
+
+// AttachTrace enables event tracing with the given per-node ring capacity.
+func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
+	m.Trace = trace.New(m.P, capacity)
+	return m.Trace
+}
+
+// Run executes body on every node concurrently (SPMD) and returns when all
+// nodes finish.  The machine must be frozen.
+func (m *Machine) Run(body func(n *Node)) {
+	if !m.frozen {
+		panic("tempest: Run before Freeze")
+	}
+	var wg sync.WaitGroup
+	wg.Add(m.P)
+	for _, nd := range m.Nodes {
+		go func(nd *Node) {
+			defer wg.Done()
+			body(nd)
+			nd.FoldStolen()
+		}(nd)
+	}
+	wg.Wait()
+}
+
+// MaxClock returns the maximum virtual clock across nodes.  Meaningful only
+// while no node is running.
+func (m *Machine) MaxClock() int64 {
+	var max int64
+	for _, nd := range m.Nodes {
+		if c := nd.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalCounters sums all per-node counters.  Meaningful only while no node
+// is running.
+func (m *Machine) TotalCounters() stats.NodeCounters {
+	var t stats.NodeCounters
+	for _, nd := range m.Nodes {
+		t.Add(&nd.Ctr)
+	}
+	return t
+}
+
+// Node is one processing element: a processor, its fine-grain tags and
+// cached lines, its local-memory cache, and its virtual clock.
+type Node struct {
+	ID int
+	M  *Machine
+
+	// Ctr is the node's event record (owner goroutine only).
+	Ctr stats.NodeCounters
+
+	// PD is per-node protocol state, owned by the active protocol.
+	PD any
+
+	clock  int64
+	stolen atomic.Int64
+
+	lines []*Line
+	fifo  []memsys.BlockID
+}
+
+// Clock returns the node's current virtual cycle count including handler
+// cycles stolen by other nodes' requests.
+func (n *Node) Clock() int64 { return n.clock + n.stolen.Load() }
+
+// Charge advances the node's clock by c cycles (owner goroutine only).
+func (n *Node) Charge(c int64) { n.clock += c }
+
+// ChargeRemote charges c cycles to another node's clock (handler occupancy
+// stolen from the home processor).  Safe from any goroutine.
+func (n *Node) ChargeRemote(c int64) { n.stolen.Add(c) }
+
+// FoldStolen folds stolen handler cycles into the local clock.  Called at
+// barriers and at the end of Run.
+func (n *Node) FoldStolen() { n.clock += n.stolen.Swap(0) }
+
+// Line returns the node's line for block b, or nil if none was ever
+// installed.  The line's tag must be checked before using its data.
+func (n *Node) Line(b memsys.BlockID) *Line { return n.lines[b] }
+
+// Install makes the node's line for b hold a copy of src with the given
+// tag, creating the line on first use.  Callers must hold b's lock (all
+// installs race with cross-node reads of the line pointer, which also
+// happen under the lock).
+func (n *Node) Install(b memsys.BlockID, src []byte, tag Tag) *Line {
+	l := n.lines[b]
+	if l == nil {
+		l = &Line{Data: make([]byte, n.M.AS.BlockSize)}
+		n.lines[b] = l
+	}
+	copy(l.Data, src)
+	l.SetTag(tag)
+	if n.M.CacheLines > 0 && !l.inFIFO {
+		l.inFIFO = true
+		n.fifo = append(n.fifo, b)
+	}
+	return l
+}
+
+// makeRoom evicts resident blocks FIFO-style until the cache is under
+// capacity.  Called on the fault path before the protocol installs a new
+// line; the caller holds no block lock.  Blocks the protocol refuses to
+// evict (LCM private copies) are requeued.
+func (n *Node) makeRoom() {
+	capLines := n.M.CacheLines
+	if capLines <= 0 {
+		return
+	}
+	attempts := len(n.fifo)
+	for len(n.fifo) >= capLines && attempts > 0 {
+		attempts--
+		b := n.fifo[0]
+		n.fifo = n.fifo[1:]
+		l := n.lines[b]
+		if l == nil {
+			continue
+		}
+		l.inFIFO = false
+		if l.Tag() == TagInvalid {
+			continue // already revoked remotely; the slot is free
+		}
+		if !n.M.protocol.Evict(n, b) {
+			l.inFIFO = true
+			n.fifo = append(n.fifo, b) // unevictable: requeue
+			continue
+		}
+		n.Ctr.Evictions++
+	}
+}
+
+// Barrier joins the global barrier: the node's clock is advanced to the
+// maximum across nodes plus the barrier cost.
+func (n *Node) Barrier() {
+	n.FoldStolen()
+	n.clock = n.M.bar.Wait(n.clock) + n.M.Cost.Barrier
+	n.Ctr.Barriers++
+	if t := n.M.Trace; t != nil {
+		t.Record(n.ID, n.clock, trace.BarrierEvt, 0, 0)
+	}
+}
+
+// DropCopy discards this node's read-only copy of the block containing a,
+// if any.  The next reference re-fetches the latest value — the consumer-
+// driven refresh of the stale-data policy (Section 7.5: "the consumer can
+// simply flush the block").  Private (modified) copies are not dropped.
+func (n *Node) DropCopy(a memsys.Addr) {
+	b := n.M.AS.Block(a)
+	if l := n.lines[b]; l != nil && l.Tag() == TagReadOnly {
+		l.SetTag(TagInvalid)
+		n.Charge(n.M.Cost.MarkLocal)
+	}
+}
+
+// Mark executes the LCM MarkModification directive for addr.
+func (n *Node) Mark(addr memsys.Addr) { n.M.protocol.MarkModification(n, addr) }
+
+// FlushCopies executes the LCM FlushCopies directive.
+func (n *Node) FlushCopies() { n.M.protocol.FlushCopies(n) }
+
+// ReconcileCopies executes the LCM ReconcileCopies directive (a global
+// barrier; every node must call it).
+func (n *Node) ReconcileCopies() { n.M.protocol.ReconcileCopies(n) }
+
+// Barrier is a reusable sense-reversing barrier that also computes the
+// maximum virtual clock of the arriving nodes; Wait returns that maximum,
+// which each node adopts as its post-barrier clock.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	max     int64
+	result  int64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have arrived, then returns the
+// maximum clock value passed by any participant in this round.
+func (b *Barrier) Wait(clock int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.max {
+		b.max = clock
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.result = b.max
+		b.max = 0
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result
+}

@@ -1,0 +1,181 @@
+// Package trace records protocol events in per-node ring buffers for
+// debugging and for tests that assert on event sequences.
+//
+// Tracing is off by default and costs one predictable branch when
+// disabled.  When enabled, each node's events go to its own fixed-size
+// ring, so tracing never allocates on the hot path and never introduces
+// cross-node synchronization that could perturb the behaviour being
+// traced.  Events carry the node's virtual clock, so a merged dump shows
+// the simulated interleaving rather than the host's.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind labels one protocol event.
+type Kind uint8
+
+// Event kinds.
+const (
+	None Kind = iota
+	// ReadMiss: a load fault was serviced.
+	ReadMiss
+	// WriteMiss: a store fault was serviced with data.
+	WriteMiss
+	// Upgrade: a store fault was serviced without data.
+	Upgrade
+	// Mark: an LCM MarkModification (explicit or copy-on-write).
+	Mark
+	// Flush: a private-modified block returned home.
+	Flush
+	// Invalidate: a copy was revoked.
+	Invalidate
+	// Commit: a home committed a reconciled block.
+	Commit
+	// BarrierEvt: the node passed a global barrier.
+	BarrierEvt
+	// Conflict: a semantic violation was recorded.
+	Conflict
+)
+
+// String returns the event kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case ReadMiss:
+		return "read-miss"
+	case WriteMiss:
+		return "write-miss"
+	case Upgrade:
+		return "upgrade"
+	case Mark:
+		return "mark"
+	case Flush:
+		return "flush"
+	case Invalidate:
+		return "invalidate"
+	case Commit:
+		return "commit"
+	case BarrierEvt:
+		return "barrier"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	Clock int64
+	Node  int16
+	Kind  Kind
+	Block uint32
+	// Arg is kind-specific: the peer node for Invalidate, the modified
+	// word count for Flush/Commit, zero otherwise.
+	Arg int32
+}
+
+// String renders an event for dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("[%12d] n%-2d %-10s b%-6d arg=%d", e.Clock, e.Node, e.Kind, e.Block, e.Arg)
+}
+
+// Buffer is a per-machine trace: one ring per node.
+type Buffer struct {
+	rings [][]Event
+	next  []int
+	wrap  []bool
+	cap   int
+}
+
+// New creates a Buffer for p nodes with the given per-node capacity.
+func New(p, capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Buffer{
+		rings: make([][]Event, p),
+		next:  make([]int, p),
+		wrap:  make([]bool, p),
+		cap:   capacity,
+	}
+	for i := range b.rings {
+		b.rings[i] = make([]Event, capacity)
+	}
+	return b
+}
+
+// Record appends an event to node's ring.  Only the owning node's
+// goroutine (or a barrier-window committer acting as that node) may call
+// it for a given node.
+func (b *Buffer) Record(node int, clock int64, kind Kind, block uint32, arg int32) {
+	r := b.rings[node]
+	i := b.next[node]
+	r[i] = Event{Clock: clock, Node: int16(node), Kind: kind, Block: block, Arg: arg}
+	i++
+	if i == b.cap {
+		i = 0
+		b.wrap[node] = true
+	}
+	b.next[node] = i
+}
+
+// NodeEvents returns node's retained events in recording order.
+func (b *Buffer) NodeEvents(node int) []Event {
+	r := b.rings[node]
+	if !b.wrap[node] {
+		out := make([]Event, b.next[node])
+		copy(out, r[:b.next[node]])
+		return out
+	}
+	out := make([]Event, 0, b.cap)
+	out = append(out, r[b.next[node]:]...)
+	out = append(out, r[:b.next[node]]...)
+	return out
+}
+
+// Merged returns all retained events ordered by virtual clock (ties by
+// node then recording order).  Call only while the machine is quiescent.
+func (b *Buffer) Merged() []Event {
+	var all []Event
+	for n := range b.rings {
+		all = append(all, b.NodeEvents(n)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Clock != all[j].Clock {
+			return all[i].Clock < all[j].Clock
+		}
+		return all[i].Node < all[j].Node
+	})
+	return all
+}
+
+// CountKind returns how many retained events have the given kind.
+func (b *Buffer) CountKind(k Kind) int {
+	total := 0
+	for n := range b.rings {
+		for _, e := range b.NodeEvents(n) {
+			if e.Kind == k {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Dump renders the merged trace, at most limit lines (0 = all).
+func (b *Buffer) Dump(limit int) string {
+	events := b.Merged()
+	if limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndNodeEvents(t *testing.T) {
+	b := New(2, 4)
+	b.Record(0, 10, ReadMiss, 7, 0)
+	b.Record(0, 20, Mark, 7, 0)
+	b.Record(1, 15, Flush, 9, 3)
+	ev := b.NodeEvents(0)
+	if len(ev) != 2 || ev[0].Kind != ReadMiss || ev[1].Kind != Mark {
+		t.Fatalf("node 0 events %v", ev)
+	}
+	if ev[0].Clock != 10 || ev[1].Block != 7 {
+		t.Fatalf("event fields %v", ev)
+	}
+	if got := b.NodeEvents(1); len(got) != 1 || got[0].Arg != 3 {
+		t.Fatalf("node 1 events %v", got)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	b := New(1, 3)
+	for i := 0; i < 5; i++ {
+		b.Record(0, int64(i), Flush, uint32(i), 0)
+	}
+	ev := b.NodeEvents(0)
+	if len(ev) != 3 {
+		t.Fatalf("retained %d, want 3", len(ev))
+	}
+	// Oldest events dropped; order preserved.
+	if ev[0].Clock != 2 || ev[2].Clock != 4 {
+		t.Fatalf("wrap order %v", ev)
+	}
+}
+
+func TestMergedOrdersByClock(t *testing.T) {
+	b := New(3, 8)
+	b.Record(2, 30, Commit, 1, 0)
+	b.Record(0, 10, ReadMiss, 1, 0)
+	b.Record(1, 20, WriteMiss, 1, 0)
+	m := b.Merged()
+	if len(m) != 3 || m[0].Clock != 10 || m[1].Clock != 20 || m[2].Clock != 30 {
+		t.Fatalf("merged %v", m)
+	}
+}
+
+func TestCountKindAndDump(t *testing.T) {
+	b := New(2, 8)
+	b.Record(0, 1, Invalidate, 5, 1)
+	b.Record(1, 2, Invalidate, 5, 0)
+	b.Record(1, 3, BarrierEvt, 0, 0)
+	if got := b.CountKind(Invalidate); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	d := b.Dump(0)
+	if !strings.Contains(d, "invalidate") || !strings.Contains(d, "barrier") {
+		t.Fatalf("dump:\n%s", d)
+	}
+	if lines := strings.Count(b.Dump(1), "\n"); lines != 1 {
+		t.Fatalf("limited dump has %d lines", lines)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		ReadMiss: "read-miss", WriteMiss: "write-miss", Upgrade: "upgrade",
+		Mark: "mark", Flush: "flush", Invalidate: "invalidate",
+		Commit: "commit", BarrierEvt: "barrier", Conflict: "conflict",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d -> %q", k, k.String())
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	b := New(1, 0)
+	b.Record(0, 1, Mark, 0, 0)
+	if len(b.NodeEvents(0)) != 1 {
+		t.Fatal("clamped capacity broken")
+	}
+}

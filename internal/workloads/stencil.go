@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lcm/internal/core"
+	"lcm/internal/cstar"
+	"lcm/internal/memsys"
+	"lcm/internal/tempest"
+)
+
+// StencilSpec parameterizes the Stencil benchmark of Sections 4.2/6.1:
+// a four-point relaxation over a fixed two-dimensional mesh.
+// Paper configuration: N=1024, Iters=50, measured with both static
+// ("Stencil-stat") and dynamic ("Stencil-dyn") partitioning.
+type StencilSpec struct {
+	N     int
+	Iters int
+	// Sched is "static" or "dynamic".
+	Sched string
+}
+
+// PaperStencil returns the paper's configuration.
+func PaperStencil(sched string) StencilSpec {
+	return StencilSpec{N: 1024, Iters: 50, Sched: sched}
+}
+
+// stencilSummary is what compiler analysis sees in the stencil parallel
+// function: each invocation writes its own element and reads neighbours.
+var stencilSummary = cstar.AccessSummary{WritesOwnElementOnly: true, ReadsSharedData: true}
+
+// initStencilMesh writes the initial condition into a mesh's home image: a
+// hot top boundary over a varied interior, so every element changes every
+// iteration (the paper's mesh has activity and cache-block reuse
+// everywhere, not a cold front creeping from one edge).
+func initStencilMesh(poke func(i, j int, v float32), n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			poke(i, j, float32((i*31+j*17)%97)/9.7)
+		}
+	}
+	for j := 0; j < n; j++ {
+		poke(0, j, 100)
+	}
+}
+
+// stencilVal computes one element update; both the parallel and the
+// sequential code use exactly this expression, so results are bit-equal.
+func stencilVal(up, down, left, right float32) float32 {
+	return (up + down + left + right) * 0.25
+}
+
+// RunStencil executes the Stencil benchmark on the given memory system.
+func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
+	cfg = cfg.norm()
+	res := Result{Workload: "Stencil", System: sys, Sched: spec.Sched}
+	m := cfg.machine(sys)
+
+	a := cstar.NewMatrixF32(m, "A", spec.N, spec.N, cstar.DataPolicy(sys), memsys.Interleaved)
+	var old *cstar.MatrixF32
+	if sys == cstar.Copying {
+		// The compiler's explicit two-copy lowering (Section 6.1): all
+		// reads from the old copy, all writes to the new, pointer swap
+		// after each iteration.
+		old = cstar.NewMatrixF32(m, "A.old", spec.N, spec.N, core.Coherent(), memsys.Interleaved)
+	}
+	m.Freeze()
+
+	initStencilMesh(a.Poke, spec.N)
+	if old != nil {
+		initStencilMesh(old.Poke, spec.N)
+	}
+
+	plan := cstar.Lower(stencilSummary, sys)
+	sched := schedFor(spec.Sched)
+	inner := spec.N - 2
+	total := inner * inner
+
+	m.Run(func(n *tempest.Node) {
+		cur, prev := a, old
+		for it := 0; it < spec.Iters; it++ {
+			src := cur
+			if plan.Mode == cstar.ModeCopying {
+				src = prev
+			}
+			cstar.ForEach(n, sched, plan, it, total, func(idx int) {
+				i := 1 + idx/inner
+				j := 1 + idx%inner
+				v := stencilVal(src.Get(n, i-1, j), src.Get(n, i+1, j),
+					src.Get(n, i, j-1), src.Get(n, i, j+1))
+				cur.Set(n, i, j, v)
+				n.Compute(4)
+			})
+			cstar.EndParallel(n)
+			if plan.Mode == cstar.ModeCopying {
+				cur, prev = prev, cur
+			}
+		}
+	})
+	finish(m, &res)
+
+	if cfg.Verify {
+		// Under Copying, iteration k writes a when k is even and old
+		// when k is odd, so the last write (k = Iters-1) lands in a for
+		// odd Iters and in old for even Iters.  Under LCM it is always a.
+		final := a
+		if sys == cstar.Copying && spec.Iters%2 == 0 {
+			final = old
+		}
+		cstar.DrainToHome(m)
+		if res.Err == nil {
+			res.Err = verifyStencil(final, spec)
+		}
+	}
+	return res
+}
+
+// verifyStencil recomputes the stencil sequentially with two arrays and
+// compares every element.
+func verifyStencil(got *cstar.MatrixF32, spec StencilSpec) error {
+	n := spec.N
+	cur := make([][]float32, n)
+	old := make([][]float32, n)
+	for i := range cur {
+		cur[i] = make([]float32, n)
+		old[i] = make([]float32, n)
+	}
+	initStencilMesh(func(i, j int, v float32) { cur[i][j] = v; old[i][j] = v }, n)
+	for it := 0; it < spec.Iters; it++ {
+		cur, old = old, cur
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				cur[i][j] = stencilVal(old[i-1][j], old[i+1][j], old[i][j-1], old[i][j+1])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !approxEq(got.Peek(i, j), cur[i][j]) {
+				return fmt.Errorf("stencil: A[%d][%d] = %v, want %v", i, j, got.Peek(i, j), cur[i][j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package workloads implements the paper's four C** benchmarks — Stencil,
+// Adaptive, Threshold and Unstructured — each runnable under all three
+// memory systems (Stache + explicit copying, LCM-scc, LCM-mcc) and, where
+// the paper measured it, under both static and dynamic partitioning.
+//
+// Every workload:
+//
+//   - allocates its aggregates in the simulated global address space with
+//     the policies the C** compiler would choose for the target system,
+//   - runs the same parallel computation SPMD on the simulated machine so
+//     the protocols observe the real access stream, and
+//   - verifies its numerical result against a sequential reference
+//     implementation (bit-exact: the parallel schedule computes each
+//     element with the same float expression and operand values).
+package workloads
+
+import (
+	"fmt"
+
+	"lcm/internal/core"
+	"lcm/internal/cost"
+	"lcm/internal/cstar"
+	"lcm/internal/stache"
+	"lcm/internal/stats"
+	"lcm/internal/tempest"
+	"lcm/internal/trace"
+)
+
+// Config is the machine configuration shared by all workloads.
+type Config struct {
+	// P is the number of processors (paper: 32).
+	P int
+	// BlockSize is the coherence block size in bytes (paper: 32, eight
+	// single-precision floats).
+	BlockSize uint32
+	// CostModel sets the virtual-time charges; zero value means
+	// cost.Default().
+	CostModel *cost.Model
+	// Verify runs the sequential reference and checks the result.
+	Verify bool
+	// TraceCap, when positive, attaches a protocol event trace with this
+	// many retained events per node; it is returned in Result.Trace.
+	TraceCap int
+	// CacheLines bounds each node's resident blocks (0 = unbounded, the
+	// paper's configuration: Stache backs caching with all of local
+	// memory).
+	CacheLines int
+}
+
+func (c Config) norm() Config {
+	if c.P == 0 {
+		c.P = 32
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 32
+	}
+	if c.CostModel == nil {
+		m := cost.Default()
+		c.CostModel = &m
+	}
+	return c
+}
+
+func (c Config) machine(sys cstar.System) *tempest.Machine {
+	m := cstar.NewMachine(c.P, c.BlockSize, *c.CostModel, sys)
+	if c.TraceCap > 0 {
+		m.AttachTrace(c.TraceCap)
+	}
+	m.CacheLines = c.CacheLines
+	return m
+}
+
+// Result is one workload run's measurements.
+type Result struct {
+	Workload string
+	System   cstar.System
+	Sched    string
+	// Cycles is the simulated execution time (max node clock).
+	Cycles int64
+	// C aggregates per-node protocol counters.
+	C stats.NodeCounters
+	// S holds the shared counters (clean copies, conflicts, ...).
+	S stats.Snapshot
+	// Extra carries per-workload facts (modified ratios, cell counts).
+	Extra map[string]float64
+	// PerNodeClocks and PerNodeMisses summarize load balance.
+	PerNodeClocks stats.Summary
+	PerNodeMisses stats.Summary
+	// Trace holds the protocol event trace when Config.TraceCap was set.
+	Trace *trace.Buffer
+	// Err is non-nil if verification failed.
+	Err error
+}
+
+// CleanCopies returns the paper's Table 1 clean-copy metric for the run's
+// system: home copies under scc, per-processor copies under mcc, zero for
+// the Copying baseline.
+func (r Result) CleanCopies() int64 {
+	switch r.System {
+	case cstar.LCMscc:
+		return r.S.CleanCopiesHome
+	case cstar.LCMmcc:
+		return r.S.CleanCopiesLocal
+	default:
+		return 0
+	}
+}
+
+// Label renders "name-sched" ("Stencil-stat") like the paper's tables.
+func (r Result) Label() string {
+	if r.Sched == "" {
+		return r.Workload
+	}
+	abbrev := map[string]string{"static": "stat", "dynamic": "dyn"}[r.Sched]
+	return fmt.Sprintf("%s-%s", r.Workload, abbrev)
+}
+
+// finish collects machine-wide measurements into r after a run and audits
+// the protocol's invariants (directory state vs access tags, no live
+// private copies between phases).
+func finish(m *tempest.Machine, r *Result) {
+	r.Cycles = m.MaxClock()
+	r.C = m.TotalCounters()
+	r.S = m.Shared.Snapshot()
+	r.Trace = m.Trace
+	clocks := make([]int64, m.P)
+	misses := make([]int64, m.P)
+	for i, nd := range m.Nodes {
+		clocks[i] = nd.Clock()
+		misses[i] = nd.Ctr.Misses
+	}
+	r.PerNodeClocks = stats.Summarize(clocks)
+	r.PerNodeMisses = stats.Summarize(misses)
+	switch p := m.Protocol().(type) {
+	case *core.LCM:
+		r.Err = p.CheckQuiescent()
+	case *stache.Protocol:
+		r.Err = p.CheckInvariants()
+	}
+}
+
+// schedFor maps a name to a scheduler.
+func schedFor(name string) cstar.Scheduler {
+	switch name {
+	case "dynamic":
+		return cstar.RotatingSchedule{}
+	default:
+		return cstar.StaticSchedule{}
+	}
+}
+
+// approxEq compares float32 values bit-exactly; the parallel executions
+// evaluate identical expressions on identical operands, so no tolerance is
+// needed (any difference is a semantics bug, which is the point).
+func approxEq(a, b float32) bool { return a == b }
