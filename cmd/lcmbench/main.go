@@ -11,7 +11,11 @@
 //
 //	lcmbench [-scale N] [-p N] [-verify] [-table1] [-fig2] [-fig3] [-ablate]
 //
-// With no selection flags, all experiments run.
+// With no selection flags, all experiments run.  -chaos runs the
+// fault-injection campaign instead: every workload under every memory
+// system with seeded faults, asserting answers bit-identical to the
+// fault-free runs and recovery counters matching the injected plans; the
+// exit status reports the verdict.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 	fig2 := flag.Bool("fig2", false, "run only Figure 2 (Stencil)")
 	fig3 := flag.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
 	ablate := flag.Bool("ablate", false, "run only the Section 7 ablations")
+	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos campaign")
 	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity); heavy at scale 1")
 	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
 	flag.Parse()
@@ -44,8 +49,17 @@ func main() {
 	s.Cfg = workloads.Config{P: *p, Verify: *verify}
 	s.Scale = *scale
 
-	all := !*table1 && !*fig2 && !*fig3 && !*ablate
 	start := time.Now()
+	if *chaos {
+		if err := s.RunChaos(harness.DefaultChaosPlans()); err != nil {
+			fmt.Fprintf(os.Stderr, "lcmbench: chaos campaign FAILED:\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos campaign passed: all recoveries bit-identical, counters match injected plans")
+		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	all := !*table1 && !*fig2 && !*fig3 && !*ablate
 
 	if all || *table1 || *fig2 || *fig3 {
 		rows := s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)

@@ -19,6 +19,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"lcm"
 )
@@ -70,6 +71,10 @@ func main() {
 			base = cycles
 		}
 		fmt.Printf("%-10s %14d %10d %8v\n", sys, cycles, misses, ok)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "falseshare: %s produced wrong counter values\n", sys)
+			os.Exit(1)
+		}
 		if sys == lcm.LCMmcc {
 			fmt.Printf("\nLCM-mcc speedup: %.2fx — private copies merge word-by-word, so the\n",
 				float64(base)/float64(cycles))

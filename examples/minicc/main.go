@@ -67,10 +67,12 @@ func run(title, src string) {
 		m.Freeze()
 		inst.Init(init)
 		m.Run(func(n *lcm.Node) {
-			if err := inst.RunNode(n, iters, lcm.StaticSchedule{}); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
+			_ = inst.RunNode(n, iters, lcm.StaticSchedule{})
 		})
+		if err := inst.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "minicc: %s under %s: %v\n", title, sys, err)
+			os.Exit(1)
+		}
 		c := m.TotalCounters()
 		fmt.Printf("  %-8s plan=%-7s  %14d cycles  %10d misses  %10d copied words\n",
 			sys, inst.Plan.Mode, m.MaxClock(), c.Misses, c.CopiedWords)
@@ -93,6 +95,10 @@ func run(title, src string) {
 	m.Freeze()
 	inst.Init(init)
 	m.Run(func(n *lcm.Node) { _ = inst.RunNode(n, iters, lcm.StaticSchedule{}) })
+	if err := inst.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "minicc: verification run: %v\n", err)
+		os.Exit(1)
+	}
 	lcm.DrainToHome(m)
 	for i := 0; i < size; i++ {
 		for j := 0; j < size; j++ {

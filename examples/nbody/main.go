@@ -22,6 +22,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"lcm"
 )
@@ -102,6 +103,12 @@ func main() {
 			}
 		}
 		fmt.Printf("stale=%-6d %14d %10d %14.6f\n", k, cycles, misses, maxErr)
+		if k == 0 && maxErr != 0 {
+			// Staleness 0 repeats the exact run; any divergence means
+			// the simulation is not deterministic.
+			fmt.Fprintln(os.Stderr, "nbody: stale=0 run diverged from the reference run")
+			os.Exit(1)
+		}
 	}
 	fmt.Println("\nmisses and simulated time fall as allowed staleness grows; the")
 	fmt.Println("positional error stays bounded — the Section 7.5 trade-off.")

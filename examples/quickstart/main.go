@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"lcm"
 )
@@ -90,4 +91,8 @@ func main() {
 		s.CleanCopiesHome, s.CleanCopiesLocal)
 	fmt.Printf("blocks reconciled:  %12d\n", s.Reconciles)
 	fmt.Printf("write conflicts:    %12d (disjoint writes: should be 0)\n", s.WriteConflicts)
+	if s.WriteConflicts != 0 {
+		fmt.Fprintln(os.Stderr, "quickstart: unexpected write conflicts in a disjoint-write program")
+		os.Exit(1)
+	}
 }

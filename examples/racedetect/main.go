@@ -21,6 +21,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"lcm"
 )
@@ -64,6 +65,10 @@ func main() {
 	s := m.Shared.Snapshot()
 	fmt.Printf("\nwrite-write violations: %d (phase 2)\n", s.WriteConflicts)
 	fmt.Printf("read-write violations:  %d (phase 3)\n", s.ReadWriteConflicts)
+	if s.WriteConflicts == 0 || s.ReadWriteConflicts == 0 {
+		fmt.Fprintln(os.Stderr, "racedetect: expected violations were not detected")
+		os.Exit(1)
+	}
 	fmt.Println("\nphase 1's disjoint writes were merged silently — no false positives.")
 	fmt.Println("note: no access histories were kept; detection falls out of the")
 	fmt.Println("clean-copy diff that reconciliation performs anyway.")

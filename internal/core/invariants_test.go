@@ -65,7 +65,9 @@ func TestInvariantsHoldWithMixedRegions(t *testing.T) {
 	loose := m.AS.Alloc("loose", 256, memsys.KindLCM, memsys.Interleaved)
 	coh := m.AS.Alloc("coh", 256, memsys.KindCoherent, memsys.Interleaved)
 	red := m.AS.Alloc("red", 8, memsys.KindLCM, memsys.SingleHome)
-	Reduction(SumI64{}).ApplyTo(red)
+	if err := Reduction(SumI64{}).ApplyTo(red); err != nil {
+		t.Fatalf("ApplyTo: %v", err)
+	}
 	pr := New(MCC)
 	m.SetProtocol(pr)
 	m.Freeze()

@@ -18,7 +18,9 @@ func newLCMMachine(t *testing.T, v Variant, p int, blocks uint64, pol Policy) *t
 	t.Helper()
 	m := tempest.New(p, 32, cost.Default())
 	r := m.AS.Alloc("data", blocks*32, memsys.KindLCM, memsys.Interleaved)
-	pol.ApplyTo(r)
+	if err := pol.ApplyTo(r); err != nil {
+		t.Fatalf("ApplyTo: %v", err)
+	}
 	pr := New(v)
 	m.SetProtocol(pr)
 	m.Freeze()
@@ -205,7 +207,9 @@ func TestReductionRegionSums(t *testing.T) {
 	// Section 7.1: reconciliation implements a global sum.
 	m := tempest.New(4, 32, cost.Default())
 	r := m.AS.Alloc("total", 8, memsys.KindLCM, memsys.SingleHome)
-	Reduction(SumI64{}).ApplyTo(r)
+	if err := Reduction(SumI64{}).ApplyTo(r); err != nil {
+		t.Fatalf("ApplyTo: %v", err)
+	}
 	pr := New(MCC)
 	m.SetProtocol(pr)
 	m.Freeze()
@@ -332,7 +336,9 @@ func TestStaleDataPolicy(t *testing.T) {
 	// StalePhases reconciliations, then is refreshed.
 	m := tempest.New(2, 32, cost.Default())
 	r := m.AS.Alloc("field", 32, memsys.KindLCM, memsys.SingleHome)
-	Stale(2).ApplyTo(r)
+	if err := Stale(2).ApplyTo(r); err != nil {
+		t.Fatalf("ApplyTo: %v", err)
+	}
 	pr := New(MCC)
 	m.SetProtocol(pr)
 	m.Freeze()

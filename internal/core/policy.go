@@ -87,10 +87,13 @@ func (pol Policy) Validate() error {
 }
 
 // ApplyTo stamps the policy onto a region.  Must be called before the
-// machine freezes.
-func (pol Policy) ApplyTo(r *memsys.Region) {
+// machine freezes.  An invalid policy is reported as an error and leaves
+// the region untouched; callers surface it through the machine's config
+// ledger (Machine.RecordConfigError) so Freeze/Run fail with it instead
+// of crashing the process at allocation time.
+func (pol Policy) ApplyTo(r *memsys.Region) error {
 	if err := pol.Validate(); err != nil {
-		panic(err)
+		return err
 	}
 	r.Kind = pol.Kind
 	if pol.Reconciler != nil {
@@ -99,4 +102,5 @@ func (pol Policy) ApplyTo(r *memsys.Region) {
 	r.ConflictCheck = pol.ConflictCheck
 	r.FlushReads = pol.FlushReads
 	r.StalePhases = pol.StalePhases
+	return nil
 }

@@ -31,10 +31,16 @@ type agg struct {
 
 func allocAgg(m *tempest.Machine, name string, elems int, elemSize uint32, pol core.Policy, home memsys.HomePolicy, homeNode int) agg {
 	if elems <= 0 {
-		panic(fmt.Sprintf("cstar: aggregate %q with %d elements", name, elems))
+		// Record the misconfiguration instead of crashing at allocation
+		// time; Freeze/Run will fail with it.  Clamp so the returned
+		// aggregate is still a valid (if useless) object.
+		m.RecordConfigError(fmt.Errorf("cstar: aggregate %q with %d elements", name, elems))
+		elems = 1
 	}
 	r := m.AS.AllocAt(name, uint64(elems)*uint64(elemSize), memsys.KindCoherent, home, homeNode)
-	pol.ApplyTo(r)
+	if err := pol.ApplyTo(r); err != nil {
+		m.RecordConfigError(fmt.Errorf("cstar: aggregate %q: %w", name, err))
+	}
 	return agg{M: m, R: r, len: elems, elem: elemSize}
 }
 

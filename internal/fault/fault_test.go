@@ -1,0 +1,110 @@
+package fault
+
+import "testing"
+
+// TestStreamsDeterministic: two injectors built from the same plan make
+// identical decisions — the property the chaos harness's exact-count
+// assertions rest on.
+func TestStreamsDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, CorruptPerMil: 100, TransientPerMil: 200, SpikePerMil: 50, SpikeCycles: 7, StallPerMil: 30, StallCycles: 9}
+	a := NewInjector(4, plan)
+	b := NewInjector(4, plan)
+	for i := 0; i < 10000; i++ {
+		node := i % 4
+		if a.CorruptTransfer(node) != b.CorruptTransfer(node) {
+			t.Fatalf("CorruptTransfer diverged at step %d", i)
+		}
+		if a.TransientTimeout(node) != b.TransientTimeout(node) {
+			t.Fatalf("TransientTimeout diverged at step %d", i)
+		}
+	}
+	if a.Tally() != b.Tally() {
+		t.Fatalf("tallies diverged: %v vs %v", a.Tally(), b.Tally())
+	}
+	if a.Tally().Total() == 0 {
+		t.Fatal("no faults injected at these probabilities; test proves nothing")
+	}
+}
+
+// TestStreamsDecorrelated: different nodes (and nearby seeds) draw
+// different streams.
+func TestStreamsDecorrelated(t *testing.T) {
+	in := NewInjector(2, Plan{Seed: 1, CorruptPerMil: 500})
+	same := 0
+	const draws = 1000
+	for i := 0; i < draws; i++ {
+		if in.CorruptTransfer(0) == in.CorruptTransfer(1) {
+			same++
+		}
+	}
+	// Independent fair-ish coins agree ~half the time; identical streams
+	// agree always.
+	if same > draws*9/10 {
+		t.Fatalf("node streams look identical: %d/%d draws agree", same, draws)
+	}
+}
+
+func TestBackoffExponentialWithCap(t *testing.T) {
+	in := NewInjector(1, Plan{BackoffBase: 100, BackoffCap: 3})
+	want := []int64{100, 200, 400, 800, 800, 800}
+	for i, w := range want {
+		if got := in.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	in := NewInjector(1, Plan{})
+	if got := in.Backoff(1); got != 3000 {
+		t.Fatalf("default Backoff(1) = %d, want 3000", got)
+	}
+	if in.RetryBudget() != 8 {
+		t.Fatalf("default RetryBudget = %d, want 8", in.RetryBudget())
+	}
+}
+
+// TestChecksumDetectsCorruption: every single-bit flip CorruptBytes makes
+// must change the checksum.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	in := NewInjector(1, Plan{Seed: 7})
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	clean := Checksum(data)
+	for i := 0; i < 100; i++ {
+		buf := append([]byte(nil), data...)
+		in.CorruptBytes(0, buf)
+		if Checksum(buf) == clean {
+			t.Fatalf("corruption %d not detected by checksum", i)
+		}
+	}
+}
+
+// TestKillGating: the kill fires exactly on the KillAfter-th access fault
+// of the designated node and never on others.
+func TestKillGating(t *testing.T) {
+	in := NewInjector(2, Plan{KillNode: 1, KillAfter: 3})
+	for i := 0; i < 10; i++ {
+		if in.AccessFault(0) {
+			t.Fatalf("kill fired on wrong node at fault %d", i)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		got := in.AccessFault(1)
+		if want := i == 3; got != want {
+			t.Fatalf("AccessFault(1) at fault %d = %v, want %v", i, got, want)
+		}
+	}
+	if k := in.Tally().Kills; k != 1 {
+		t.Fatalf("Kills = %d, want 1", k)
+	}
+	// KillAfter == 0 disables the kill entirely.
+	off := NewInjector(2, Plan{KillNode: 1})
+	for i := 0; i < 10; i++ {
+		if off.AccessFault(1) {
+			t.Fatal("kill fired with KillAfter == 0")
+		}
+	}
+}

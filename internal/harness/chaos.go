@@ -1,0 +1,187 @@
+// Chaos campaign: every workload under every memory system runs under
+// seeded fault-injection plans, and recovery must be invisible — the final
+// answer bit-identical to the fault-free run, the protocol invariants
+// intact, and the machine's recovery counters exactly matching the faults
+// the injector reports having injected.  A separate scenario injects an
+// unrecoverable node failure and requires a structured error with a
+// diagnostic dump inside a bounded wall-clock time.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lcm/internal/cstar"
+	"lcm/internal/fault"
+	"lcm/internal/tempest"
+	"lcm/internal/workloads"
+)
+
+// ChaosPlan is one named fault-injection campaign.
+type ChaosPlan struct {
+	Name string
+	Plan fault.Plan
+}
+
+// DefaultChaosPlans returns the standard campaign: a light plan with rare
+// faults of every recoverable kind, and a heavy plan aggressive enough
+// that essentially every run retries many transfers and requests.
+func DefaultChaosPlans() []ChaosPlan {
+	return []ChaosPlan{
+		{Name: "light", Plan: fault.Plan{
+			Seed:            0x1c3a05_0001,
+			CorruptPerMil:   5,
+			TransientPerMil: 5,
+			SpikePerMil:     3, SpikeCycles: 2000,
+			StallPerMil: 2, StallCycles: 5000,
+		}},
+		{Name: "heavy", Plan: fault.Plan{
+			Seed:            0x1c3a05_0002,
+			CorruptPerMil:   60,
+			TransientPerMil: 60,
+			SpikePerMil:     30, SpikeCycles: 4000,
+			StallPerMil: 15, StallCycles: 10000,
+		}},
+	}
+}
+
+// chaosCase is one workload entry of the chaos matrix.
+type chaosCase struct {
+	name string
+	run  func(sys cstar.System, cfg workloads.Config) workloads.Result
+}
+
+func (s *Suite) chaosCases() []chaosCase {
+	return []chaosCase{
+		{"Stencil", func(sys cstar.System, cfg workloads.Config) workloads.Result {
+			return workloads.RunStencil(sys, s.StencilSpec("static"), cfg)
+		}},
+		{"Adaptive", func(sys cstar.System, cfg workloads.Config) workloads.Result {
+			return workloads.RunAdaptive(sys, s.AdaptiveSpec("static"), cfg)
+		}},
+		{"Threshold", func(sys cstar.System, cfg workloads.Config) workloads.Result {
+			return workloads.RunThreshold(sys, s.ThresholdSpec(), cfg)
+		}},
+		{"Unstructured", func(sys cstar.System, cfg workloads.Config) workloads.Result {
+			return workloads.RunUnstructured(sys, s.UnstructuredSpec(), cfg)
+		}},
+	}
+}
+
+// RunChaos runs the full chaos matrix — every workload x every memory
+// system x every plan — plus the unrecoverable-failure scenario, printing
+// one line per combination and returning the joined failures (nil when
+// every assertion held).
+func (s *Suite) RunChaos(plans []ChaosPlan) error {
+	cfg := s.Cfg
+	cfg.Verify = true // bit-exact check against the sequential reference
+	var failures []error
+	fmt.Fprintf(s.Out, "chaos campaign (P=%d, scale 1/%d, %d plans)...\n", cfg.P, s.Scale, len(plans))
+	for _, c := range s.chaosCases() {
+		for _, sys := range systems {
+			base := c.run(sys, cfg)
+			if base.Err != nil {
+				failures = append(failures, fmt.Errorf("%s/%v: fault-free baseline failed: %w", c.name, sys, base.Err))
+				continue
+			}
+			for _, p := range plans {
+				fc := cfg
+				plan := p.Plan
+				fc.Faults = &plan
+				res := c.run(sys, fc)
+				err := checkChaos(base, res)
+				status := "ok"
+				if err != nil {
+					status = "FAIL: " + err.Error()
+					failures = append(failures, fmt.Errorf("%s/%v/%s: %w", c.name, sys, p.Name, err))
+				}
+				fmt.Fprintf(s.Out, "  %-12s %-8v %-6s injected[%s] %s\n", c.name, sys, p.Name, res.Faults, status)
+			}
+		}
+	}
+	if err := s.chaosKill(); err != nil {
+		failures = append(failures, err)
+	} else {
+		fmt.Fprintf(s.Out, "  kill scenario: structured failure with diagnostics within bound: ok\n")
+	}
+	return errors.Join(failures...)
+}
+
+// checkChaos asserts one chaos run against its fault-free baseline:
+// recovery succeeded, the answer and the access-stream counters are
+// identical to the baseline's, and the recovery counters account for
+// every injected fault exactly.
+func checkChaos(base, res workloads.Result) error {
+	if res.Err != nil {
+		return fmt.Errorf("run failed under faults: %w", res.Err)
+	}
+	if res.Faults.Total() == 0 {
+		return fmt.Errorf("plan injected no faults; campaign proves nothing")
+	}
+	// The access stream must be untouched by recovery: data-carrying
+	// protocol activity matches the fault-free run event for event.
+	checks := []struct {
+		name      string
+		base, got int64
+	}{
+		{"Hits", base.C.Hits, res.C.Hits},
+		{"Misses", base.C.Misses, res.C.Misses},
+		{"Flushes", base.C.Flushes, res.C.Flushes},
+		{"WordsFlushed", base.C.WordsFlushed, res.C.WordsFlushed},
+		{"Marks", base.C.Marks, res.C.Marks},
+		{"Barriers", base.C.Barriers, res.C.Barriers},
+		// Recovery counters must match the injector's own record of
+		// what it injected, one for one.
+		{"CorruptedTransfers==Corruptions", res.Faults.Corruptions, res.C.CorruptedTransfers},
+		{"TransientTimeouts==Timeouts", res.Faults.Timeouts, res.C.TransientTimeouts},
+		{"OccupancySpikes==Spikes", res.Faults.Spikes, res.C.OccupancySpikes},
+		{"Stalls==Stalls", res.Faults.Stalls, res.C.Stalls},
+	}
+	for _, c := range checks {
+		if c.base != c.got {
+			return fmt.Errorf("%s: want %d, got %d", c.name, c.base, c.got)
+		}
+	}
+	if res.C.FaultRetries < res.Faults.Corruptions+res.Faults.Timeouts {
+		return fmt.Errorf("FaultRetries %d < injected corruptions+timeouts %d",
+			res.C.FaultRetries, res.Faults.Corruptions+res.Faults.Timeouts)
+	}
+	return nil
+}
+
+// chaosKill injects an unrecoverable node failure and requires the run to
+// terminate with a structured per-node error and a diagnostic dump within
+// a bounded wall-clock time.
+func (s *Suite) chaosKill() error {
+	cfg := s.Cfg
+	cfg.Verify = false
+	plan := fault.Plan{Seed: 0x1c3a05_0003, KillNode: 1, KillAfter: 3}
+	cfg.Faults = &plan
+	cfg.Watchdog = 2 * time.Second
+	const bound = 30 * time.Second
+	start := time.Now()
+	res := workloads.RunStencil(cstar.LCMscc, s.StencilSpec("static"), cfg)
+	elapsed := time.Since(start)
+	if elapsed > bound {
+		return fmt.Errorf("chaos kill: run took %v, bound %v", elapsed, bound)
+	}
+	if res.Err == nil {
+		return fmt.Errorf("chaos kill: injected node failure but run succeeded")
+	}
+	if !errors.Is(res.Err, fault.ErrKilled) {
+		return fmt.Errorf("chaos kill: error does not match fault.ErrKilled: %v", res.Err)
+	}
+	var re *tempest.RunError
+	if !errors.As(res.Err, &re) {
+		return fmt.Errorf("chaos kill: error is not a *tempest.RunError: %v", res.Err)
+	}
+	first := re.First()
+	if first == nil || first.Node != plan.KillNode {
+		return fmt.Errorf("chaos kill: primary failure not on node %d: %v", plan.KillNode, res.Err)
+	}
+	if re.Diagnostics == "" {
+		return fmt.Errorf("chaos kill: no diagnostic dump attached")
+	}
+	return nil
+}

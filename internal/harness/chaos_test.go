@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcm/internal/workloads"
+)
+
+// TestChaosCampaign runs the full chaos matrix at reduced scale: every
+// workload x every memory system under the default seeded plans, plus the
+// unrecoverable-failure scenario.  RunChaos itself asserts bit-identical
+// answers, intact invariants, and exact recovery accounting; the test only
+// requires that no assertion failed.
+func TestChaosCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(&buf)
+	s.Cfg = workloads.Config{P: 8}
+	s.Scale = 16
+	if err := s.RunChaos(DefaultChaosPlans()); err != nil {
+		t.Fatalf("chaos campaign failed:\n%v\n\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"Stencil", "Adaptive", "Threshold", "Unstructured",
+		"light", "heavy", "kill scenario"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("chaos output reports failure:\n%s", out)
+	}
+}

@@ -50,6 +50,27 @@ type NodeCounters struct {
 	CopiedWords int64
 	// Evictions counts capacity evictions (limited-cache configurations).
 	Evictions int64
+
+	// The fields below are the fault-recovery record; all stay zero
+	// unless a fault.Injector is attached to the machine.
+
+	// CorruptedTransfers counts block transfers that arrived corrupted
+	// (checksum mismatch) and were healed by re-fetch.
+	CorruptedTransfers int64
+	// TransientTimeouts counts remote request round trips that timed out
+	// and were re-sent.
+	TransientTimeouts int64
+	// FaultRetries counts recovery retries issued (re-fetches plus
+	// re-sends).
+	FaultRetries int64
+	// BackoffCycles counts virtual cycles spent in retry backoff.
+	BackoffCycles int64
+	// OccupancySpikes counts injected handler occupancy spikes absorbed.
+	OccupancySpikes int64
+	// Stalls counts injected node stalls; StallCycles is their total
+	// virtual-clock jump.
+	Stalls      int64
+	StallCycles int64
 }
 
 // Add accumulates o into c.
@@ -67,6 +88,13 @@ func (c *NodeCounters) Add(o *NodeCounters) {
 	c.Barriers += o.Barriers
 	c.CopiedWords += o.CopiedWords
 	c.Evictions += o.Evictions
+	c.CorruptedTransfers += o.CorruptedTransfers
+	c.TransientTimeouts += o.TransientTimeouts
+	c.FaultRetries += o.FaultRetries
+	c.BackoffCycles += o.BackoffCycles
+	c.OccupancySpikes += o.OccupancySpikes
+	c.Stalls += o.Stalls
+	c.StallCycles += o.StallCycles
 }
 
 // Shared holds machine-wide counters updated from protocol handlers under

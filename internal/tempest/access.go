@@ -39,6 +39,7 @@ func (n *Node) loadLine(a memsys.Addr, size uint32) (*Line, uint32) {
 	}
 	l := n.readable(b)
 	if l == nil {
+		n.preFault(b)
 		n.makeRoom()
 		l = n.M.protocol.ReadFault(n, b)
 	}
@@ -69,6 +70,7 @@ func (n *Node) store32(a memsys.Addr, v uint32) {
 	}
 	l := n.writable(b)
 	if l == nil {
+		n.preFault(b)
 		n.makeRoom()
 		l = n.M.protocol.WriteFault(n, b)
 	}
@@ -95,6 +97,7 @@ func (n *Node) store64(a memsys.Addr, v uint64) {
 	}
 	l := n.writable(b)
 	if l == nil {
+		n.preFault(b)
 		n.makeRoom()
 		l = n.M.protocol.WriteFault(n, b)
 	}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcm/internal/cost"
+	"lcm/internal/fault"
 	"lcm/internal/memsys"
 	"lcm/internal/stats"
 	"lcm/internal/trace"
@@ -166,10 +168,23 @@ type Machine struct {
 	// oldest resident block FIFO-style.  Set before Run.
 	CacheLines int
 
+	// Fault, when non-nil, injects deterministic faults at the
+	// data-movement boundary (see internal/fault and faults.go).
+	// Attach with AttachFaults before Run.
+	Fault *fault.Injector
+
+	// Watchdog, when positive, bounds the wall-clock duration of any
+	// single barrier round: a round that stalls past the bound is
+	// aborted with per-node diagnostics instead of deadlocking, and
+	// RunErr bounds its post-failure wait for straggler nodes.  Zero
+	// (the default) disables all wall-clock timers.  Set before Run.
+	Watchdog time.Duration
+
 	protocol Protocol
 	locks    []sync.Mutex
 	bar      *Barrier
 	frozen   bool
+	cfgErr   error
 
 	// trackWrites is set at Freeze when any region requests conflict
 	// checking; it gates the per-store word recording.
@@ -204,15 +219,39 @@ func (m *Machine) SetProtocol(p Protocol) {
 // Protocol returns the installed protocol.
 func (m *Machine) Protocol() Protocol { return m.protocol }
 
+// RecordConfigError records a machine-configuration error caused by bad
+// user input (an invalid policy, a bad allocation request).  The first
+// recorded error is surfaced by FreezeErr and RunErr, so library layers
+// can report bad configuration without panicking mid-allocation.
+func (m *Machine) RecordConfigError(err error) {
+	if m.cfgErr == nil && err != nil {
+		m.cfgErr = err
+	}
+}
+
 // Freeze finalizes the address space, sizes per-node line tables and block
 // locks, and attaches the protocol.  Must be called exactly once, after all
-// allocation and before Run.
+// allocation and before Run.  It panics on recorded configuration errors;
+// FreezeErr reports them as an error instead.
 func (m *Machine) Freeze() {
+	if err := m.FreezeErr(); err != nil {
+		panic(err)
+	}
+}
+
+// FreezeErr is Freeze with configuration errors returned rather than
+// panicked: bad user-suppliable input (policies, allocation sizes)
+// surfaces here.  Misuse of the API itself (double freeze, no protocol)
+// still panics.
+func (m *Machine) FreezeErr() error {
 	if m.frozen {
 		panic("tempest: double Freeze")
 	}
 	if m.protocol == nil {
 		panic("tempest: Freeze without a protocol")
+	}
+	if m.cfgErr != nil {
+		return m.cfgErr
 	}
 	m.frozen = true
 	m.AS.Freeze()
@@ -227,6 +266,7 @@ func (m *Machine) Freeze() {
 		}
 	}
 	m.protocol.Attach(m)
+	return nil
 }
 
 // Frozen reports whether Freeze has run.
@@ -246,24 +286,6 @@ func (m *Machine) Barrier() *Barrier { return m.bar }
 func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
 	m.Trace = trace.New(m.P, capacity)
 	return m.Trace
-}
-
-// Run executes body on every node concurrently (SPMD) and returns when all
-// nodes finish.  The machine must be frozen.
-func (m *Machine) Run(body func(n *Node)) {
-	if !m.frozen {
-		panic("tempest: Run before Freeze")
-	}
-	var wg sync.WaitGroup
-	wg.Add(m.P)
-	for _, nd := range m.Nodes {
-		go func(nd *Node) {
-			defer wg.Done()
-			body(nd)
-			nd.FoldStolen()
-		}(nd)
-	}
-	wg.Wait()
 }
 
 // MaxClock returns the maximum virtual clock across nodes.  Meaningful only
@@ -329,7 +351,9 @@ func (n *Node) Line(b memsys.BlockID) *Line { return n.lines[b] }
 // Install makes the node's line for b hold a copy of src with the given
 // tag, creating the line on first use.  Callers must hold b's lock (all
 // installs race with cross-node reads of the line pointer, which also
-// happen under the lock).
+// happen under the lock).  With a fault injector attached, the transfer
+// is checksummed and corrupted arrivals are healed by bounded re-fetch
+// (see deliverBlock).
 func (n *Node) Install(b memsys.BlockID, src []byte, tag Tag) *Line {
 	l := n.lines[b]
 	if l == nil {
@@ -337,6 +361,9 @@ func (n *Node) Install(b memsys.BlockID, src []byte, tag Tag) *Line {
 		n.lines[b] = l
 	}
 	copy(l.Data, src)
+	if f := n.M.Fault; f != nil {
+		n.deliverBlock(f, b, l, src)
+	}
 	l.SetTag(tag)
 	if n.M.CacheLines > 0 && !l.inFIFO {
 		l.inFIFO = true
@@ -377,10 +404,17 @@ func (n *Node) makeRoom() {
 }
 
 // Barrier joins the global barrier: the node's clock is advanced to the
-// maximum across nodes plus the barrier cost.
+// maximum across nodes plus the barrier cost.  If the barrier is aborted
+// while this node waits — a sibling died, or the watchdog detected a
+// stall — the node panics with the distinguished abort error, which
+// RunErr recovers into a structured collateral failure.
 func (n *Node) Barrier() {
 	n.FoldStolen()
-	n.clock = n.M.bar.Wait(n.clock) + n.M.Cost.Barrier
+	c, err := n.M.bar.WaitNode(n.ID, n.clock)
+	if err != nil {
+		panic(err)
+	}
+	n.clock = c + n.M.Cost.Barrier
 	n.Ctr.Barriers++
 	if t := n.M.Trace; t != nil {
 		t.Record(n.ID, n.clock, trace.BarrierEvt, 0, 0)
@@ -408,47 +442,3 @@ func (n *Node) FlushCopies() { n.M.protocol.FlushCopies(n) }
 // ReconcileCopies executes the LCM ReconcileCopies directive (a global
 // barrier; every node must call it).
 func (n *Node) ReconcileCopies() { n.M.protocol.ReconcileCopies(n) }
-
-// Barrier is a reusable sense-reversing barrier that also computes the
-// maximum virtual clock of the arriving nodes; Wait returns that maximum,
-// which each node adopts as its post-barrier clock.
-type Barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	arrived int
-	gen     uint64
-	max     int64
-	result  int64
-}
-
-// NewBarrier creates a barrier for n participants.
-func NewBarrier(n int) *Barrier {
-	b := &Barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// Wait blocks until all n participants have arrived, then returns the
-// maximum clock value passed by any participant in this round.
-func (b *Barrier) Wait(clock int64) int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if clock > b.max {
-		b.max = clock
-	}
-	gen := b.gen
-	b.arrived++
-	if b.arrived == b.n {
-		b.result = b.max
-		b.max = 0
-		b.arrived = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.result
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	return b.result
-}

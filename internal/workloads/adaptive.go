@@ -92,7 +92,7 @@ func RunAdaptive(sys cstar.System, spec AdaptiveSpec, cfg Config) Result {
 	leafScratch := make([][]int32, cfg.P)
 	depthScratch := make([][]int, cfg.P)
 
-	m.Run(func(n *tempest.Node) {
+	runErr := m.RunErr(func(n *tempest.Node) {
 		for it := 0; it < spec.Iters; it++ {
 			if plan.Mode == cstar.ModeCopying {
 				// Conservative copy phase: every allocated cell of
@@ -145,6 +145,12 @@ func RunAdaptive(sys cstar.System, spec AdaptiveSpec, cfg Config) Result {
 			cstar.EndParallel(n)
 		}
 	})
+	if runErr != nil {
+		// The machine is poisoned (a node died or the watchdog fired);
+		// report the structured error without reading further state.
+		res.Err = runErr
+		return res
+	}
 	finish(m, &res)
 	cstar.DrainToHome(m)
 	res.Extra["cells"] = float64(q.CountCells())

@@ -76,7 +76,7 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 	inner := spec.N - 2
 	total := inner * inner
 
-	m.Run(func(n *tempest.Node) {
+	runErr := m.RunErr(func(n *tempest.Node) {
 		cur, prev := a, old
 		for it := 0; it < spec.Iters; it++ {
 			src := cur
@@ -97,6 +97,12 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 			}
 		}
 	})
+	if runErr != nil {
+		// The machine is poisoned (a node died or the watchdog fired);
+		// report the structured error without reading further state.
+		res.Err = runErr
+		return res
+	}
 	finish(m, &res)
 
 	if cfg.Verify {

@@ -78,7 +78,7 @@ func RunThreshold(sys cstar.System, spec ThresholdSpec, cfg Config) Result {
 	var updated, visited int64
 	var tallyMu sync.Mutex
 
-	m.Run(func(n *tempest.Node) {
+	runErr := m.RunErr(func(n *tempest.Node) {
 		cur, prev := a, old
 		var myUpdated, myVisited int64
 		for it := 0; it < spec.Iters; it++ {
@@ -120,6 +120,12 @@ func RunThreshold(sys cstar.System, spec ThresholdSpec, cfg Config) Result {
 		visited += myVisited
 		tallyMu.Unlock()
 	})
+	if runErr != nil {
+		// The machine is poisoned (a node died or the watchdog fired);
+		// report the structured error without reading further state.
+		res.Err = runErr
+		return res
+	}
 	finish(m, &res)
 	res.Extra["modified_ratio"] = float64(updated) / float64(visited)
 

@@ -87,7 +87,7 @@ func RunUnstructured(sys cstar.System, spec UnstructuredSpec, cfg Config) Result
 	plan := cstar.Lower(unstructuredSummary, sys)
 	sched := cstar.StaticSchedule{}
 
-	m.Run(func(n *tempest.Node) {
+	runErr := m.RunErr(func(n *tempest.Node) {
 		cur, prev := val, old
 		for it := 0; it < spec.Iters; it++ {
 			src := cur
@@ -112,6 +112,12 @@ func RunUnstructured(sys cstar.System, spec UnstructuredSpec, cfg Config) Result
 			}
 		}
 	})
+	if runErr != nil {
+		// The machine is poisoned (a node died or the watchdog fired);
+		// report the structured error without reading further state.
+		res.Err = runErr
+		return res
+	}
 	finish(m, &res)
 
 	if cfg.Verify {

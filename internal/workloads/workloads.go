@@ -16,10 +16,12 @@ package workloads
 
 import (
 	"fmt"
+	"time"
 
 	"lcm/internal/core"
 	"lcm/internal/cost"
 	"lcm/internal/cstar"
+	"lcm/internal/fault"
 	"lcm/internal/stache"
 	"lcm/internal/stats"
 	"lcm/internal/tempest"
@@ -45,6 +47,14 @@ type Config struct {
 	// paper's configuration: Stache backs caching with all of local
 	// memory).
 	CacheLines int
+	// Faults, when non-nil, attaches a deterministic fault injector
+	// executing this plan (see internal/fault); recovery is charged in
+	// virtual cycles and tallied in Result.Faults.
+	Faults *fault.Plan
+	// Watchdog, when positive, bounds the wall-clock duration of any
+	// barrier round; a stalled barrier is aborted with diagnostics
+	// instead of hanging the process.
+	Watchdog time.Duration
 }
 
 func (c Config) norm() Config {
@@ -67,6 +77,10 @@ func (c Config) machine(sys cstar.System) *tempest.Machine {
 		m.AttachTrace(c.TraceCap)
 	}
 	m.CacheLines = c.CacheLines
+	if c.Faults != nil {
+		m.AttachFaults(*c.Faults)
+	}
+	m.Watchdog = c.Watchdog
 	return m
 }
 
@@ -88,7 +102,11 @@ type Result struct {
 	PerNodeMisses stats.Summary
 	// Trace holds the protocol event trace when Config.TraceCap was set.
 	Trace *trace.Buffer
-	// Err is non-nil if verification failed.
+	// Faults is the injector's record of faults injected during the run
+	// (zero when Config.Faults was nil).
+	Faults fault.Tally
+	// Err is non-nil if the run failed (a node died, a retry budget ran
+	// out, the watchdog fired) or verification failed.
 	Err error
 }
 
@@ -123,6 +141,9 @@ func finish(m *tempest.Machine, r *Result) {
 	r.C = m.TotalCounters()
 	r.S = m.Shared.Snapshot()
 	r.Trace = m.Trace
+	if m.Fault != nil {
+		r.Faults = m.Fault.Tally()
+	}
 	clocks := make([]int64, m.P)
 	misses := make([]int64, m.P)
 	for i, nd := range m.Nodes {
