@@ -22,11 +22,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lcm/internal/harness"
 	"lcm/internal/workloads"
 )
+
+// writeFile opens path, calls fn on it, and exits on any error.
+func writeFile(path string, fn func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcmbench:", err)
+		os.Exit(1)
+	}
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lcmbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lcmbench:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	scale := flag.Int("scale", 1, "divide problem sizes by this factor (1 = paper scale)")
@@ -39,11 +58,32 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos campaign")
 	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity); heavy at scale 1")
 	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
+	jsonPath := flag.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "lcmbench: -scale must be >= 1")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lcmbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeFile(*memProfile, func(f *os.File) error {
+			runtime.GC() // settle allocations so the profile shows live heap
+			return pprof.WriteHeapProfile(f)
+		})
 	}
 	s := harness.New(os.Stdout)
 	s.Cfg = workloads.Config{P: *p, Verify: *verify}
@@ -64,20 +104,12 @@ func main() {
 	if all || *table1 || *fig2 || *fig3 {
 		rows := s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)
 		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "lcmbench:", err)
-				os.Exit(1)
-			}
-			if err := harness.WriteCSV(f, rows); err != nil {
-				fmt.Fprintln(os.Stderr, "lcmbench:", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "lcmbench:", err)
-				os.Exit(1)
-			}
+			writeFile(*csvPath, func(f *os.File) error { return harness.WriteCSV(f, rows) })
 			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			writeFile(*jsonPath, func(f *os.File) error { return harness.WriteJSON(f, s.Cfg, s.Scale, rows) })
+			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 		if *verify {
 			bad := 0

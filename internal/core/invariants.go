@@ -24,19 +24,30 @@ import (
 //     no pending merge images are live.
 //
 // Coherent-region blocks are delegated to the embedded Stache checker.
-func (p *LCM) CheckInvariants() error {
+func (p *LCM) CheckInvariants() error { return p.checkTags(false) }
+
+// checkTags is the shared body of CheckInvariants and CheckQuiescent.
+// With forbidPrivate set, any private copy is a violation (the between-
+// phases rule); otherwise private copies must carry the current phase
+// generation.
+//
+// The audit runs in two passes.  The block-major pass checks the sparse
+// positive obligations (every recorded sharer really holds a read-only
+// copy).  The node-major pass checks every held copy against the
+// directory, scanning each node's line table sequentially — the table is
+// dense in blocks, so this order walks memory linearly instead of
+// striding across all nodes' tables once per block.
+func (p *LCM) checkTags(forbidPrivate bool) error {
 	if err := p.coherent.CheckInvariants(); err != nil {
 		return err
 	}
 	ph := p.phase.Load()
 	for bi := range p.entries {
 		b := memsys.BlockID(bi)
-		r := p.m.AS.RegionOfBlock(b)
-		if r.Kind == memsys.KindCoherent {
+		e := &p.entries[bi]
+		if e.sharers == 0 || p.m.AS.RegionOfBlock(b).Kind == memsys.KindCoherent {
 			continue
 		}
-		e := &p.entries[b]
-		// Sharer-mask soundness.
 		for s := e.sharers; s != 0; s &= s - 1 {
 			id := bits.TrailingZeros64(s)
 			l := p.m.Nodes[id].Line(b)
@@ -48,23 +59,34 @@ func (p *LCM) CheckInvariants() error {
 				return fmt.Errorf("core: block %d sharer %d holds %s, want ro", b, id, tag)
 			}
 		}
-		// Copy-tag soundness.
-		for id, nd := range p.m.Nodes {
-			l := nd.Line(b)
-			if l == nil {
-				continue
-			}
-			switch l.Tag() {
-			case tempest.TagReadWrite:
-				return fmt.Errorf("core: loose block %d carries coherent rw tag at node %d", b, id)
-			case tempest.TagReadOnly:
-				if e.sharers&(1<<uint(id)) == 0 {
-					return fmt.Errorf("core: block %d read-only at node %d but not in sharer mask", b, id)
+	}
+	for id, nd := range p.m.Nodes {
+		for _, chunk := range nd.InstalledLines() {
+			for li := range chunk {
+				l := &chunk[li]
+				if l.Data == nil {
+					break // unallocated arena tail
 				}
-			case tempest.TagPrivate:
-				if l.Gen != ph {
-					return fmt.Errorf("core: block %d private at node %d with stale generation %d (phase %d)",
-						b, id, l.Gen, ph)
+				b := l.Block()
+				tag := l.Tag()
+				if tag == tempest.TagInvalid || p.m.AS.RegionOfBlock(b).Kind == memsys.KindCoherent {
+					continue
+				}
+				switch tag {
+				case tempest.TagReadWrite:
+					return fmt.Errorf("core: loose block %d carries coherent rw tag at node %d", b, id)
+				case tempest.TagReadOnly:
+					if p.entries[b].sharers&(1<<uint(id)) == 0 {
+						return fmt.Errorf("core: block %d read-only at node %d but not in sharer mask", b, id)
+					}
+				case tempest.TagPrivate:
+					if forbidPrivate {
+						return fmt.Errorf("core: node %d still holds block %d privately between phases", id, b)
+					}
+					if l.Gen != ph {
+						return fmt.Errorf("core: block %d private at node %d with stale generation %d (phase %d)",
+							b, id, l.Gen, ph)
+					}
 				}
 			}
 		}
@@ -76,7 +98,7 @@ func (p *LCM) CheckInvariants() error {
 // flight: no private copies, no marked lists, no pending merge images.
 // Call after ReconcileCopies has completed on all nodes.
 func (p *LCM) CheckQuiescent() error {
-	if err := p.CheckInvariants(); err != nil {
+	if err := p.checkTags(true); err != nil {
 		return err
 	}
 	for id, nd := range p.m.Nodes {
@@ -88,13 +110,6 @@ func (p *LCM) CheckQuiescent() error {
 		e := &p.entries[bi]
 		if e.hasPending && e.gen == p.phase.Load() {
 			return fmt.Errorf("core: block %d has a live pending image between phases", bi)
-		}
-	}
-	for id, nd := range p.m.Nodes {
-		for bi := range p.entries {
-			if l := nd.Line(memsys.BlockID(bi)); l != nil && l.Tag() == tempest.TagPrivate {
-				return fmt.Errorf("core: node %d still holds block %d privately between phases", id, bi)
-			}
 		}
 	}
 	return nil

@@ -34,6 +34,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -358,7 +359,9 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	// value) and registers the block for commit at reconciliation.
 	if !e.hasPending {
 		if e.pending == nil {
-			e.pending = make([]byte, p.m.AS.BlockSize)
+			// Carved from the marking node's arena; published to other
+			// goroutines only under b's lock, like the entry itself.
+			e.pending = n.BlockBuf()
 		}
 		copy(e.pending, p.m.AS.HomeData(b))
 		e.hasPending = true
@@ -390,7 +393,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	l.WMask = 0
 	if p.variant == MCC {
 		if l.Clean == nil {
-			l.Clean = make([]byte, p.m.AS.BlockSize)
+			l.Clean = n.BlockBuf()
 		}
 		copy(l.Clean, l.Data)
 		l.CleanGen = ph
@@ -450,46 +453,53 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 	}
 	clean := p.m.AS.HomeData(b)
 	words := int64(0)
-	for off := uint32(0); off < p.m.AS.BlockSize; off += es {
-		in := l.Data[off : off+es]
-		cl := clean[off : off+es]
-		// A returning element is "modified" when its value differs from
-		// the clean copy, or — in conflict-checked regions, which track
-		// stores at word granularity (footnote 2) — when it was stored
-		// to at all, even with an unchanged value.
-		stored := false
-		if r.ConflictCheck {
-			for w := off / 4; w < (off+es)/4; w++ {
-				if l.WMask&(1<<w) != 0 {
-					stored = true
+	bs := p.m.AS.BlockSize
+	if !r.ConflictCheck && (es == 4 || es == 8) {
+		// Fast diff for the common case (no store-granularity tracking):
+		// most of a flushed block is untouched, so compare eight bytes
+		// at a time and drop into per-element merging only around actual
+		// modifications.  Merge order and results are identical to the
+		// per-element loop below.
+		for off := uint32(0); off < bs; off += 8 {
+			if binary.LittleEndian.Uint64(l.Data[off:]) == binary.LittleEndian.Uint64(clean[off:]) {
+				continue
+			}
+			if es == 8 {
+				p.mergeElem(n, b, e, r, rec, es, l, clean, off)
+				words++
+				continue
+			}
+			if binary.LittleEndian.Uint32(l.Data[off:]) != binary.LittleEndian.Uint32(clean[off:]) {
+				p.mergeElem(n, b, e, r, rec, es, l, clean, off)
+				words++
+			}
+			if binary.LittleEndian.Uint32(l.Data[off+4:]) != binary.LittleEndian.Uint32(clean[off+4:]) {
+				p.mergeElem(n, b, e, r, rec, es, l, clean, off+4)
+				words++
+			}
+		}
+	} else {
+		for off := uint32(0); off < bs; off += es {
+			in := l.Data[off : off+es]
+			cl := clean[off : off+es]
+			// A returning element is "modified" when its value differs
+			// from the clean copy, or — in conflict-checked regions,
+			// which track stores at word granularity (footnote 2) — when
+			// it was stored to at all, even with an unchanged value.
+			stored := false
+			if r.ConflictCheck {
+				for w := off / 4; w < (off+es)/4; w++ {
+					if l.WMask&(1<<w) != 0 {
+						stored = true
+					}
 				}
 			}
-		}
-		if equalBytes(in, cl) && !stored {
-			continue
-		}
-		idx := off / es
-		prior := e.written&(1<<idx) != 0
-		conflict := rec.Merge(e.pending[off:off+es], in, cl, prior)
-		if r.ConflictCheck && prior {
-			// Store granularity: any second modifier of an element in
-			// one phase is a violation, value-equal or not.
-			conflict = true
-		}
-		if conflict {
-			p.m.Shared.WriteConflicts.Add(1)
-			if t := p.m.Trace; t != nil {
-				t.Record(n.ID, n.Clock(), trace.Conflict, uint32(b), int32(idx))
+			if equalBytes(in, cl) && !stored {
+				continue
 			}
-			if r.ConflictCheck {
-				p.conflicts.add(Conflict{
-					Kind: WriteWrite, Block: b, Elem: int(idx),
-					Region: r.Name, Writers: e.writers | 1<<uint(n.ID),
-				})
-			}
+			p.mergeElem(n, b, e, r, rec, es, l, clean, off)
+			words++
 		}
-		e.written |= 1 << idx
-		words++
 	}
 	l.WMask = 0
 	if words > 0 {
@@ -524,6 +534,34 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 		n.Charge(c.FlushPerBlock + words*int64(es)*c.PerByte)
 		p.m.Nodes[home].ChargeRemote(c.FlushOccupancy + words*c.MergePerWord)
 	}
+}
+
+// mergeElem folds the modified element at byte offset off of block b into
+// the home's pending image, with conflict detection and accounting.  The
+// caller holds b's lock and invokes mergeElem in ascending offset order,
+// exactly once per modified element.
+func (p *LCM) mergeElem(n *tempest.Node, b memsys.BlockID, e *entry, r *memsys.Region, rec Reconciler, es uint32, l *tempest.Line, clean []byte, off uint32) {
+	idx := off / es
+	prior := e.written&(1<<idx) != 0
+	conflict := rec.Merge(e.pending[off:off+es], l.Data[off:off+es], clean[off:off+es], prior)
+	if r.ConflictCheck && prior {
+		// Store granularity: any second modifier of an element in one
+		// phase is a violation, value-equal or not.
+		conflict = true
+	}
+	if conflict {
+		p.m.Shared.WriteConflicts.Add(1)
+		if t := p.m.Trace; t != nil {
+			t.Record(n.ID, n.Clock(), trace.Conflict, uint32(b), int32(idx))
+		}
+		if r.ConflictCheck {
+			p.conflicts.add(Conflict{
+				Kind: WriteWrite, Block: b, Elem: int(idx),
+				Region: r.Name, Writers: e.writers | 1<<uint(n.ID),
+			})
+		}
+	}
+	e.written |= 1 << idx
 }
 
 // Evict implements tempest.Protocol.  Private-modified copies must not be
@@ -645,6 +683,7 @@ func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {
 // KindStale region younger than StalePhases survive the commit.
 func (p *LCM) invalidateOutstanding(n *tempest.Node, b memsys.BlockID, e *entry, r *memsys.Region, ph uint32) {
 	keep := uint64(0)
+	sent := int64(0)
 	for s := e.sharers; s != 0; s &= s - 1 {
 		id := bits.TrailingZeros64(s)
 		l := p.m.Nodes[id].Line(b)
@@ -656,10 +695,11 @@ func (p *LCM) invalidateOutstanding(n *tempest.Node, b memsys.BlockID, e *entry,
 			continue
 		}
 		l.SetTag(tempest.TagInvalid)
-		n.Ctr.InvalidationsSent++
-		n.Charge(p.m.Cost.InvalidatePerCopy)
+		sent++
 	}
 	e.sharers = keep
+	n.Ctr.InvalidationsSent += sent
+	n.Charge(sent * p.m.Cost.InvalidatePerCopy)
 }
 
 // invalidateAllSharers drops every read-only copy of b.

@@ -82,14 +82,29 @@ func (v *VectorF32) Poke(i int, x float32) {
 	binary.LittleEndian.PutUint32(v.M.AS.HomeBytes(v.addr(i), 4), math.Float32bits(x))
 }
 
+// GetSpan loads elements [i, i+len(dst)) into dst through node n.
+func (v *VectorF32) GetSpan(n *tempest.Node, i int, dst []float32) {
+	n.ReadSpanF32(v.addr(i), dst)
+}
+
+// SetSpan stores src into elements [i, i+len(src)) through node n.
+func (v *VectorF32) SetSpan(n *tempest.Node, i int, src []float32) {
+	n.WriteSpanF32(v.addr(i), src)
+}
+
+// FillSpan stores x into elements [lo, hi) through node n.
+func (v *VectorF32) FillSpan(n *tempest.Node, lo, hi int, x float32) {
+	n.FillSpanF32(v.addr(lo), hi-lo, x)
+}
+
 // CopyRange copies elements [lo,hi) from src through node n, counting and
 // charging the copied words: this is the compiler-generated explicit-copy
-// loop of the Copying baseline.
+// loop of the Copying baseline.  The transfer runs block segment by block
+// segment (see tempest.CopySpan) with accounting identical to the
+// element-by-element loop.
 func (v *VectorF32) CopyRange(n *tempest.Node, src *VectorF32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		v.Set(n, i, src.Get(n, i))
-		n.Ctr.CopiedWords++
-	}
+	n.CopySpan(v.addr(lo), src.addr(lo), hi-lo, 4)
+	n.Ctr.CopiedWords += int64(hi - lo)
 	n.Charge(int64(hi-lo) * n.M.Cost.CopyPerWord)
 }
 
@@ -120,6 +135,16 @@ func (v *VectorF64) Poke(i int, x float64) {
 	binary.LittleEndian.PutUint64(v.M.AS.HomeBytes(v.addr(i), 8), math.Float64bits(x))
 }
 
+// GetSpan loads elements [i, i+len(dst)) into dst through node n.
+func (v *VectorF64) GetSpan(n *tempest.Node, i int, dst []float64) {
+	n.ReadSpanF64(v.addr(i), dst)
+}
+
+// SetSpan stores src into elements [i, i+len(src)) through node n.
+func (v *VectorF64) SetSpan(n *tempest.Node, i int, src []float64) {
+	n.WriteSpanF64(v.addr(i), src)
+}
+
 // VectorI32 is a one-dimensional aggregate of int32 (indices, counters,
 // quad-tree child pointers).
 type VectorI32 struct{ agg }
@@ -148,13 +173,21 @@ func (v *VectorI32) Poke(i int, x int32) {
 	binary.LittleEndian.PutUint32(v.M.AS.HomeBytes(v.addr(i), 4), uint32(x))
 }
 
+// GetSpan loads elements [i, i+len(dst)) into dst through node n.
+func (v *VectorI32) GetSpan(n *tempest.Node, i int, dst []int32) {
+	n.ReadSpanI32(v.addr(i), dst)
+}
+
+// SetSpan stores src into elements [i, i+len(src)) through node n.
+func (v *VectorI32) SetSpan(n *tempest.Node, i int, src []int32) {
+	n.WriteSpanI32(v.addr(i), src)
+}
+
 // CopyRange copies elements [lo,hi) from src through node n, counting and
 // charging the copied words.
 func (v *VectorI32) CopyRange(n *tempest.Node, src *VectorI32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		v.Set(n, i, src.Get(n, i))
-		n.Ctr.CopiedWords++
-	}
+	n.CopySpan(v.addr(lo), src.addr(lo), hi-lo, 4)
+	n.Ctr.CopiedWords += int64(hi - lo)
 	n.Charge(int64(hi-lo) * n.M.Cost.CopyPerWord)
 }
 
@@ -229,14 +262,31 @@ func (mx *MatrixF32) Poke(i, j int, x float32) {
 	binary.LittleEndian.PutUint32(mx.M.AS.HomeBytes(mx.Addr(i, j), 4), math.Float32bits(x))
 }
 
+// GetRowSpan loads elements (i, j) .. (i, j+len(dst)) of one row into dst
+// through node n.  The span must stay within the row's padded stride.
+func (mx *MatrixF32) GetRowSpan(n *tempest.Node, i, j int, dst []float32) {
+	if j < 0 || j+len(dst) > mx.stride {
+		panic(fmt.Sprintf("cstar: row span [%d,%d) outside row of stride %d", j, j+len(dst), mx.stride))
+	}
+	n.ReadSpanF32(mx.Addr(i, j), dst)
+}
+
+// SetRowSpan stores src into elements (i, j) .. (i, j+len(src)) of one row
+// through node n.  The span must stay within the row's padded stride.
+func (mx *MatrixF32) SetRowSpan(n *tempest.Node, i, j int, src []float32) {
+	if j < 0 || j+len(src) > mx.stride {
+		panic(fmt.Sprintf("cstar: row span [%d,%d) outside row of stride %d", j, j+len(src), mx.stride))
+	}
+	n.WriteSpanF32(mx.Addr(i, j), src)
+}
+
 // CopyRows copies rows [lo,hi) from src through node n, counting and
 // charging the copied words (the Copying baseline's whole-mesh copy).
+// Each row moves block segment by block segment (see tempest.CopySpan).
 func (mx *MatrixF32) CopyRows(n *tempest.Node, src *MatrixF32, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		for j := 0; j < mx.Cols; j++ {
-			mx.Set(n, i, j, src.Get(n, i, j))
-			n.Ctr.CopiedWords++
-		}
+		n.CopySpan(mx.Addr(i, 0), src.Addr(i, 0), mx.Cols, 4)
+		n.Ctr.CopiedWords += int64(mx.Cols)
 	}
 	n.Charge(int64(hi-lo) * int64(mx.Cols) * n.M.Cost.CopyPerWord)
 }

@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"lcm/internal/cstar"
 	"lcm/internal/stats"
@@ -92,11 +93,15 @@ func (s *Suite) UnstructuredSpec() workloads.UnstructuredSpec {
 
 var systems = []cstar.System{cstar.LCMscc, cstar.LCMmcc, cstar.Copying}
 
-// runRow runs one benchmark row under all three systems.
+// runRow runs one benchmark row under all three systems, stamping each
+// result with its host wall-clock duration for the trajectory record.
 func (s *Suite) runRow(run func(sys cstar.System) workloads.Result) map[cstar.System]workloads.Result {
 	out := make(map[cstar.System]workloads.Result, len(systems))
 	for _, sys := range systems {
-		out[sys] = run(sys)
+		t0 := time.Now()
+		r := run(sys)
+		r.Wall = time.Since(t0)
+		out[sys] = r
 	}
 	return out
 }

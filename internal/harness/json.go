@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"lcm/internal/cstar"
+	"lcm/internal/workloads"
+)
+
+// BenchRecord is one (workload, system) cell of a benchmark trajectory
+// file: the host wall-clock cost of producing the cell next to the
+// simulation observables that must stay invariant while the host cost
+// improves.  Tracking both across commits separates "the simulator got
+// faster" from "the simulator got different".
+type BenchRecord struct {
+	Workload string `json:"workload"`
+	Sched    string `json:"sched,omitempty"`
+	System   string `json:"system"`
+	// WallNS is host wall-clock time for the cell, in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// SimCycles, SimMisses and CleanCopies are simulation results; they
+	// must be bit-identical across host-side optimizations.
+	SimCycles   int64 `json:"simcycles"`
+	SimMisses   int64 `json:"simmisses"`
+	CleanCopies int64 `json:"cleancopies"`
+	// Verified reports whether the run was checked against the
+	// sequential reference (and passed; failed runs never reach here).
+	Verified bool `json:"verified,omitempty"`
+}
+
+// BenchFile is the on-disk BENCH_*.json shape.
+type BenchFile struct {
+	Schema string `json:"schema"`
+	// UnixNS is the trajectory timestamp (when the campaign finished).
+	UnixNS int64 `json:"unix_ns"`
+	// P and Scale identify the configuration the records belong to.
+	P       int           `json:"p"`
+	Scale   int           `json:"scale"`
+	Records []BenchRecord `json:"records"`
+}
+
+// benchSchema names the record layout; bump when fields change meaning.
+const benchSchema = "lcmbench/1"
+
+// WriteJSON renders benchmark rows as a BENCH_*.json trajectory file.
+func WriteJSON(w io.Writer, cfg workloads.Config, scale int, rows []map[cstar.System]workloads.Result) error {
+	bf := BenchFile{
+		Schema: benchSchema,
+		UnixNS: time.Now().UnixNano(),
+		P:      cfg.P,
+		Scale:  scale,
+	}
+	for _, row := range rows {
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+			r, ok := row[sys]
+			if !ok {
+				continue
+			}
+			bf.Records = append(bf.Records, BenchRecord{
+				Workload:    r.Workload,
+				Sched:       r.Sched,
+				System:      r.System.String(),
+				WallNS:      r.Wall.Nanoseconds(),
+				SimCycles:   r.Cycles,
+				SimMisses:   r.C.Misses,
+				CleanCopies: r.CleanCopies(),
+				Verified:    cfg.Verify && r.Err == nil,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}

@@ -19,55 +19,78 @@ import (
 //   - stateExcl: exactly the owner holds a copy, read-write; nobody else
 //     holds any access.
 //   - No line anywhere carries TagPrivate (that tag belongs to LCM).
+//
+// The audit runs in two passes.  The block-major pass checks the sparse
+// positive obligations (recorded sharers and owners really hold their
+// copies).  The node-major pass checks every held copy against the
+// directory; it scans each node's line table sequentially, which walks
+// memory linearly instead of striding across all nodes' tables per block.
 func (p *Protocol) CheckInvariants() error {
 	for bi := range p.entries {
 		b := memsys.BlockID(bi)
+		e := &p.entries[bi]
+		if e.state == stateIdle {
+			continue
+		}
 		// When embedded inside LCM, this protocol only governs
 		// coherent regions; loose blocks legitimately carry private
 		// tags and are audited by the LCM checker.
 		if p.m.AS.RegionOfBlock(b).Kind != memsys.KindCoherent {
 			continue
 		}
-		if err := p.checkBlock(b); err != nil {
-			return err
+		if e.state == stateExcl {
+			if l := p.m.Nodes[e.owner].Line(b); l == nil || l.Tag() != tempest.TagReadWrite {
+				return fmt.Errorf("stache: block %d owner %d has tag %s", b, e.owner, lineTagName(l))
+			}
+			continue
+		}
+		for id := range p.m.Nodes {
+			if e.sharers&(1<<uint(id)) == 0 {
+				continue
+			}
+			if l := p.m.Nodes[id].Line(b); l == nil || l.Tag() != tempest.TagReadOnly {
+				return fmt.Errorf("stache: block %d sharer %d has tag %s", b, id, lineTagName(l))
+			}
+		}
+	}
+	for id, nd := range p.m.Nodes {
+		bit := uint64(1) << uint(id)
+		for _, chunk := range nd.InstalledLines() {
+			for li := range chunk {
+				l := &chunk[li]
+				if l.Data == nil {
+					break // unallocated arena tail
+				}
+				b := l.Block()
+				tag := l.Tag()
+				if tag == tempest.TagInvalid || p.m.AS.RegionOfBlock(b).Kind != memsys.KindCoherent {
+					continue
+				}
+				if tag == tempest.TagPrivate {
+					return fmt.Errorf("stache: node %d holds private tag on block %d", id, b)
+				}
+				switch e := &p.entries[b]; e.state {
+				case stateIdle:
+					return fmt.Errorf("stache: idle block %d readable at node %d (%s)", b, id, tempest.TagName(tag))
+				case stateShared:
+					if e.sharers&bit == 0 {
+						return fmt.Errorf("stache: block %d non-sharer %d has tag %s", b, id, tempest.TagName(tag))
+					}
+				case stateExcl:
+					if id != int(e.owner) {
+						return fmt.Errorf("stache: block %d non-owner %d has tag %s", b, id, tempest.TagName(tag))
+					}
+				}
+			}
 		}
 	}
 	return nil
 }
 
-// checkBlock verifies one block's directory entry.
-func (p *Protocol) checkBlock(b memsys.BlockID) error {
-	e := &p.entries[b]
-	for id, nd := range p.m.Nodes {
-		l := nd.Line(b)
-		tag := tempest.TagInvalid
-		if l != nil {
-			tag = l.Tag()
-		}
-		if tag == tempest.TagPrivate {
-			return fmt.Errorf("stache: node %d holds private tag on block %d", id, b)
-		}
-		bit := uint64(1) << uint(id)
-		switch e.state {
-		case stateIdle:
-			if tag != tempest.TagInvalid {
-				return fmt.Errorf("stache: idle block %d readable at node %d (%s)", b, id, tempest.TagName(tag))
-			}
-		case stateShared:
-			switch {
-			case e.sharers&bit != 0 && tag != tempest.TagReadOnly:
-				return fmt.Errorf("stache: block %d sharer %d has tag %s", b, id, tempest.TagName(tag))
-			case e.sharers&bit == 0 && tag != tempest.TagInvalid:
-				return fmt.Errorf("stache: block %d non-sharer %d has tag %s", b, id, tempest.TagName(tag))
-			}
-		case stateExcl:
-			switch {
-			case id == int(e.owner) && tag != tempest.TagReadWrite:
-				return fmt.Errorf("stache: block %d owner %d has tag %s", b, id, tempest.TagName(tag))
-			case id != int(e.owner) && tag != tempest.TagInvalid:
-				return fmt.Errorf("stache: block %d non-owner %d has tag %s", b, id, tempest.TagName(tag))
-			}
-		}
+// lineTagName renders a possibly-absent line's tag for error messages.
+func lineTagName(l *tempest.Line) string {
+	if l == nil {
+		return "none"
 	}
-	return nil
+	return tempest.TagName(l.Tag())
 }

@@ -100,7 +100,15 @@ type Line struct {
 	// must see value-equal stores as modifications (the paper's footnote
 	// 2 store-trapping scheme).
 	WMask uint64
+
+	// block is the line's block ID, fixed at first install (lines map
+	// 1:1 to (node, block) for the machine's lifetime).  It lets audits
+	// walk a node's installed lines without scanning the full table.
+	block memsys.BlockID
 }
+
+// Block returns the block the line caches.
+func (l *Line) Block() memsys.BlockID { return l.block }
 
 // Tag returns the line's current access tag.
 func (l *Line) Tag() Tag { return l.tag.Load() }
@@ -179,6 +187,14 @@ type Machine struct {
 	// RunErr bounds its post-failure wait for straggler nodes.  Zero
 	// (the default) disables all wall-clock timers.  Set before Run.
 	Watchdog time.Duration
+
+	// ScalarAccess disables the bulk span transfer paths: every
+	// ReadSpan*/WriteSpan*/CopySpan call decomposes into the per-element
+	// scalar accessors instead.  Accounting is identical either way (the
+	// span engine's contract); the flag exists so differential tests can
+	// run both engines over the same workload and assert it.  Set before
+	// Run.
+	ScalarAccess bool
 
 	protocol Protocol
 	locks    []sync.Mutex
@@ -259,6 +275,7 @@ func (m *Machine) FreezeErr() error {
 	m.locks = make([]sync.Mutex, n)
 	for _, nd := range m.Nodes {
 		nd.lines = make([]*Line, n)
+		nd.spanBuf = make([]byte, m.AS.BlockSize)
 	}
 	for _, r := range m.AS.Regions() {
 		if r.ConflictCheck {
@@ -326,7 +343,34 @@ type Node struct {
 	stolen atomic.Int64
 
 	lines []*Line
-	fifo  []memsys.BlockID
+
+	// mruBlock/mruLine cache the most recently accessed (block, line)
+	// pair so consecutive same-block accesses skip the line-table load.
+	// Owner goroutine only; the cached line's atomic tag is still checked
+	// on every access, so concurrent remote revocations stay correct (see
+	// "Fast-path invariants" in DESIGN.md).  mruLine == nil means empty.
+	mruBlock memsys.BlockID
+	mruLine  *Line
+
+	// fifo is the residency queue for capacity-limited machines, a
+	// head-indexed ring: entries before fifoHead are dead.  The dead
+	// prefix is compacted away periodically so the backing array stays
+	// proportional to the live queue, not to the eviction history.
+	fifo     []memsys.BlockID
+	fifoHead int
+
+	// spanBuf is a block-sized staging buffer for the span store path
+	// (owner goroutine only), allocated at Freeze.
+	spanBuf []byte
+
+	// lineArena and dataArena back new lines in chunks (owner goroutine
+	// only): a P-node run creates up to P×blocks lines, so first-touch
+	// installs carve from these instead of paying two allocations per
+	// block.  lineChunks retains every arena chunk in allocation order
+	// so audits can walk installed lines densely (see InstalledLines).
+	lineArena  []Line
+	dataArena  []byte
+	lineChunks [][]Line
 }
 
 // Clock returns the node's current virtual cycle count including handler
@@ -357,7 +401,7 @@ func (n *Node) Line(b memsys.BlockID) *Line { return n.lines[b] }
 func (n *Node) Install(b memsys.BlockID, src []byte, tag Tag) *Line {
 	l := n.lines[b]
 	if l == nil {
-		l = &Line{Data: make([]byte, n.M.AS.BlockSize)}
+		l = n.newLine(b)
 		n.lines[b] = l
 	}
 	copy(l.Data, src)
@@ -372,20 +416,78 @@ func (n *Node) Install(b memsys.BlockID, src []byte, tag Tag) *Line {
 	return l
 }
 
+// lineArenaChunk is how many lines (and line-sized buffers) the node
+// arenas grow by at a time.
+const lineArenaChunk = 64
+
+// newLine carves a fresh line with a zeroed block-sized data buffer from
+// the node's arenas (owner goroutine only; install paths all run in the
+// faulting node's goroutine).  The backing arrays are only ever resliced,
+// never reallocated, so pointers into them stay valid for the machine's
+// lifetime.
+func (n *Node) newLine(b memsys.BlockID) *Line {
+	if len(n.lineArena) == 0 {
+		n.lineArena = make([]Line, lineArenaChunk)
+		n.lineChunks = append(n.lineChunks, n.lineArena)
+	}
+	l := &n.lineArena[0]
+	n.lineArena = n.lineArena[1:]
+	l.Data = n.BlockBuf()
+	l.block = b
+	return l
+}
+
+// InstalledLines returns the node's line storage in allocation order:
+// every line the node has ever installed appears in exactly one chunk,
+// carrying its block ID (Line.Block).  Entries with nil Data are the
+// unallocated tail of the last chunk.  For quiescent audits only — the
+// caller must not run concurrently with the owner goroutine.
+func (n *Node) InstalledLines() [][]Line { return n.lineChunks }
+
+// BlockBuf returns a zeroed block-sized buffer carved from the node's
+// data arena (owner goroutine only).  Protocols use it for per-line
+// auxiliary images (e.g. LCM-mcc local clean copies) so those do not pay
+// one allocation per line either.
+func (n *Node) BlockBuf() []byte {
+	bs := int(n.M.AS.BlockSize)
+	if len(n.dataArena) < bs {
+		n.dataArena = make([]byte, bs*lineArenaChunk)
+	}
+	buf := n.dataArena[:bs:bs]
+	n.dataArena = n.dataArena[bs:]
+	return buf
+}
+
+// fifoCompactMin is the dead-prefix length below which makeRoom does not
+// bother compacting the residency ring.
+const fifoCompactMin = 64
+
+// fifoLen returns the live length of the residency queue.
+func (n *Node) fifoLen() int { return len(n.fifo) - n.fifoHead }
+
 // makeRoom evicts resident blocks FIFO-style until the cache is under
 // capacity.  Called on the fault path before the protocol installs a new
 // line; the caller holds no block lock.  Blocks the protocol refuses to
 // evict (LCM private copies) are requeued.
+//
+// Pops advance fifoHead instead of re-slicing, and the dead prefix is
+// copied away once it dominates the backing array: a plain
+// `fifo = fifo[1:]` never releases the popped entries, so long
+// capacity-limited runs would grow the array without bound.
 func (n *Node) makeRoom() {
 	capLines := n.M.CacheLines
 	if capLines <= 0 {
 		return
 	}
-	attempts := len(n.fifo)
-	for len(n.fifo) >= capLines && attempts > 0 {
+	attempts := n.fifoLen()
+	for n.fifoLen() >= capLines && attempts > 0 {
 		attempts--
-		b := n.fifo[0]
-		n.fifo = n.fifo[1:]
+		b := n.fifo[n.fifoHead]
+		n.fifoHead++
+		if n.fifoHead >= fifoCompactMin && n.fifoHead*2 >= len(n.fifo) {
+			n.fifo = n.fifo[:copy(n.fifo, n.fifo[n.fifoHead:])]
+			n.fifoHead = 0
+		}
 		l := n.lines[b]
 		if l == nil {
 			continue
@@ -398,6 +500,9 @@ func (n *Node) makeRoom() {
 			l.inFIFO = true
 			n.fifo = append(n.fifo, b) // unevictable: requeue
 			continue
+		}
+		if n.mruLine != nil && n.mruBlock == b {
+			n.mruLine = nil
 		}
 		n.Ctr.Evictions++
 	}
@@ -429,6 +534,9 @@ func (n *Node) DropCopy(a memsys.Addr) {
 	b := n.M.AS.Block(a)
 	if l := n.lines[b]; l != nil && l.Tag() == TagReadOnly {
 		l.SetTag(TagInvalid)
+		if n.mruLine != nil && n.mruBlock == b {
+			n.mruLine = nil
+		}
 		n.Charge(n.M.Cost.MarkLocal)
 	}
 }

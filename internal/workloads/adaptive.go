@@ -77,7 +77,7 @@ func RunAdaptive(sys cstar.System, spec AdaptiveSpec, cfg Config) Result {
 
 	q.InitRoots()
 	elecs := adaptiveElectrodes(spec)
-	fixed := make(map[int]bool, len(elecs))
+	fixed := make([]bool, spec.N*spec.N)
 	for _, p := range elecs {
 		q.Val.Poke(int(q.RootID(p[0], p[1])), 100)
 		if old != nil {

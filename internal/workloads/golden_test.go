@@ -38,12 +38,18 @@ func TestGoldenStencilCounts(t *testing.T) {
 		{cstar.LCMscc, golden{misses: 17788, marks: 15376, flushes: 15376, cleanHome: 1984, cleanLocal: 0}},
 		{cstar.LCMmcc, golden{misses: 2472, marks: 15376, flushes: 15376, cleanHome: 1984, cleanLocal: 2008}},
 	} {
-		r := RunStencil(tc.sys, spec, cfg)
-		if r.Err != nil {
-			t.Fatalf("%v: %v", tc.sys, r.Err)
-		}
-		if got := snapshot(r); got != tc.want {
-			t.Errorf("%v: counts drifted:\n got  %+v\n want %+v", tc.sys, got, tc.want)
+		// The goldens must hold both through the span fast path and the
+		// per-element fallback.
+		for _, scalar := range []bool{false, true} {
+			cfg.ScalarAccess = scalar
+			r := RunStencil(tc.sys, spec, cfg)
+			if r.Err != nil {
+				t.Fatalf("%v (scalar=%v): %v", tc.sys, scalar, r.Err)
+			}
+			if got := snapshot(r); got != tc.want {
+				t.Errorf("%v (scalar=%v): counts drifted:\n got  %+v\n want %+v",
+					tc.sys, scalar, got, tc.want)
+			}
 		}
 	}
 }

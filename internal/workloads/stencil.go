@@ -75,6 +75,7 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 	sched := schedFor(spec.Sched)
 	inner := spec.N - 2
 	total := inner * inner
+	scratch := newRowScratch(cfg.P, inner)
 
 	runErr := m.RunErr(func(n *tempest.Node) {
 		cur, prev := a, old
@@ -82,6 +83,34 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 			src := cur
 			if plan.Mode == cstar.ModeCopying {
 				src = prev
+			}
+			if plan.Mode == cstar.ModeCopying {
+				// Span sweep: the two-copy lowering reads only the old
+				// mesh and writes only the new one, so whole row pieces
+				// can stream through the span engine.  Accounting is
+				// identical to the per-element loop: the same blocks
+				// fault at the same first touch, and 4k reads + k writes
+				// + 4k compute units are charged per k-element piece.
+				sc := scratch[n.ID]
+				lo, hi := sched.Range(n.ID, n.M.P, it, total)
+				sweepRowPieces(lo, hi, inner, func(i, jlo, jhi int) {
+					k := jhi - jlo
+					up, down := sc.up[:k], sc.down[:k]
+					left, right := sc.left[:k], sc.right[:k]
+					out := sc.out[:k]
+					src.GetRowSpan(n, i-1, jlo, up)
+					src.GetRowSpan(n, i+1, jlo, down)
+					src.GetRowSpan(n, i, jlo-1, left)
+					src.GetRowSpan(n, i, jlo+1, right)
+					for x := 0; x < k; x++ {
+						out[x] = stencilVal(up[x], down[x], left[x], right[x])
+					}
+					n.Compute(4 * int64(k))
+					cur.SetRowSpan(n, i, jlo, out)
+				})
+				cstar.EndParallel(n)
+				cur, prev = prev, cur
+				continue
 			}
 			cstar.ForEach(n, sched, plan, it, total, func(idx int) {
 				i := 1 + idx/inner
@@ -92,9 +121,6 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 				n.Compute(4)
 			})
 			cstar.EndParallel(n)
-			if plan.Mode == cstar.ModeCopying {
-				cur, prev = prev, cur
-			}
 		}
 	})
 	if runErr != nil {
@@ -119,6 +145,40 @@ func RunStencil(sys cstar.System, spec StencilSpec, cfg Config) Result {
 		}
 	}
 	return res
+}
+
+// rowScratch holds one node's staging buffers for the span sweeps of the
+// stencil-family workloads (Stencil, Threshold): a value row, its four
+// neighbour rows, and the output row.
+type rowScratch struct {
+	val, up, down, left, right, out []float32
+}
+
+// newRowScratch allocates per-node row buffers of capacity k.
+func newRowScratch(p, k int) []rowScratch {
+	sc := make([]rowScratch, p)
+	for i := range sc {
+		sc[i] = rowScratch{
+			val: make([]float32, k), up: make([]float32, k),
+			down: make([]float32, k), left: make([]float32, k),
+			right: make([]float32, k), out: make([]float32, k),
+		}
+	}
+	return sc
+}
+
+// sweepRowPieces invokes fn(i, jlo, jhi) for each maximal single-row piece
+// of the flattened interior index range [lo, hi), where index idx maps to
+// mesh cell (1 + idx/inner, 1 + idx%inner).
+func sweepRowPieces(lo, hi, inner int, fn func(i, jlo, jhi int)) {
+	for idx := lo; idx < hi; {
+		end := idx + inner - idx%inner // start of the next mesh row
+		if end > hi {
+			end = hi
+		}
+		fn(1+idx/inner, 1+idx%inner, 1+idx%inner+(end-idx))
+		idx = end
+	}
 }
 
 // verifyStencil recomputes the stencil sequentially with two arrays and

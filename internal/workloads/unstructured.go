@@ -87,6 +87,21 @@ func RunUnstructured(sys cstar.System, spec UnstructuredSpec, cfg Config) Result
 	plan := cstar.Lower(unstructuredSummary, sys)
 	sched := cstar.StaticSchedule{}
 
+	// Per-node scratch for the span reads of the gather loop: the offset
+	// pair and the vertex's whole edge-target range stream through the
+	// span engine (the gather over src stays scalar — it is irregular by
+	// construction).  Accounting matches the element-by-element loop.
+	maxDeg := 0
+	for v := 0; v < spec.Nodes; v++ {
+		if d := int(topo.Offsets[v+1] - topo.Offsets[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	tgtScratch := make([][]int32, cfg.P)
+	for i := range tgtScratch {
+		tgtScratch[i] = make([]int32, maxDeg)
+	}
+
 	runErr := m.RunErr(func(n *tempest.Node) {
 		cur, prev := val, old
 		for it := 0; it < spec.Iters; it++ {
@@ -95,11 +110,13 @@ func RunUnstructured(sys cstar.System, spec UnstructuredSpec, cfg Config) Result
 				src = prev
 			}
 			cstar.ForEach(n, sched, plan, it, spec.Nodes, func(v int) {
-				lo := offs.Get(n, v)
-				hi := offs.Get(n, v+1)
+				var pair [2]int32
+				offs.GetSpan(n, v, pair[:])
+				lo, hi := pair[0], pair[1]
+				tb := tgtScratch[n.ID][:hi-lo]
+				tgts.GetSpan(n, int(lo), tb)
 				var sum float32
-				for k := lo; k < hi; k++ {
-					w := tgts.Get(n, int(k))
+				for _, w := range tb {
 					sum += src.Get(n, int(w)*spec.Stride)
 				}
 				navg := sum / float32(hi-lo)

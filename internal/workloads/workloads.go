@@ -55,6 +55,11 @@ type Config struct {
 	// barrier round; a stalled barrier is aborted with diagnostics
 	// instead of hanging the process.
 	Watchdog time.Duration
+	// ScalarAccess disables the machine's bulk span transfer paths so
+	// every access goes through the per-element scalar accessors, for
+	// differential testing of the span engine (accounting must be
+	// identical either way).
+	ScalarAccess bool
 }
 
 func (c Config) norm() Config {
@@ -81,6 +86,7 @@ func (c Config) machine(sys cstar.System) *tempest.Machine {
 		m.AttachFaults(*c.Faults)
 	}
 	m.Watchdog = c.Watchdog
+	m.ScalarAccess = c.ScalarAccess
 	return m
 }
 
@@ -100,6 +106,11 @@ type Result struct {
 	// PerNodeClocks and PerNodeMisses summarize load balance.
 	PerNodeClocks stats.Summary
 	PerNodeMisses stats.Summary
+	// Wall is the host wall-clock duration of the run when measured by
+	// the harness (zero otherwise).  Host time is a property of the
+	// simulator, not of the simulated machine — it never feeds back into
+	// Cycles or any counter.
+	Wall time.Duration
 	// Trace holds the protocol event trace when Config.TraceCap was set.
 	Trace *trace.Buffer
 	// Faults is the injector's record of faults injected during the run
