@@ -1,0 +1,159 @@
+// Command benchdiff compares two BENCH_*.json benchmark trajectory files
+// produced by lcmbench -json.  It has two modes:
+//
+// Regression gate (default): compare wall-clock times record by record
+// and fail when the pooled geometric mean of the current/baseline ratios
+// regresses by more than -max-regress percent (10 by default).  This is
+// the nightly guardrail: simulation observables must match exactly, wall
+// time may drift within the budget.
+//
+//	benchdiff [-max-regress 10] baseline.json current.json
+//
+// Identity check (-identical): compare only the deterministic fields of
+// each record — workload, sched, system, simulated misses, clean copies,
+// verification status, and network message/byte counts — and fail on any
+// difference.  Wall-clock time, timestamps, and (by default) simulated
+// cycles are excluded: cycle totals at P>1 depend on goroutine
+// interleaving around barriers (see PROTOCOLS.md), so the CI determinism
+// job pins counters, not clocks.  -cycles adds simulated cycles to the
+// comparison for single-actor or P=1 configurations.
+//
+// Copying records at P>1 additionally drop misses and message/byte
+// counts from the comparison: the eagerly coherent baseline invalidates
+// copies mid-phase, so its fault counts race the victims' accesses and
+// are not run-to-run reproducible (see the stream-determined discussion
+// in internal/workloads/differential_test.go).  LCM records are pinned
+// on every field.
+//
+//	benchdiff -identical [-cycles] a.json b.json
+//
+// Exit status: 0 on pass, 1 on mismatch/regression, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"lcm/internal/harness"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string) harness.BenchFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		usage("%v", err)
+	}
+	var bf harness.BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		usage("%s: %v", path, err)
+	}
+	if len(bf.Records) == 0 {
+		usage("%s: no records", path)
+	}
+	return bf
+}
+
+func key(r harness.BenchRecord) string {
+	return r.Workload + "/" + r.Sched + "/" + r.System
+}
+
+func main() {
+	identical := flag.Bool("identical", false, "compare deterministic record fields exactly instead of gating wall-clock regression")
+	cycles := flag.Bool("cycles", false, "with -identical, also require simulated cycles to match (only deterministic at P=1 or in single-actor runs)")
+	maxRegress := flag.Float64("max-regress", 10, "maximum allowed pooled-geomean wall-clock regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		usage("usage: benchdiff [-identical [-cycles] | -max-regress PCT] baseline.json current.json")
+	}
+	a, b := load(flag.Arg(0)), load(flag.Arg(1))
+
+	if a.P != b.P || a.Scale != b.Scale || a.Net != b.Net {
+		fail("configuration mismatch: p/scale/net %d/%d/%q vs %d/%d/%q",
+			a.P, a.Scale, a.Net, b.P, b.Scale, b.Net)
+	}
+	if len(a.Records) != len(b.Records) {
+		fail("record count mismatch: %d vs %d", len(a.Records), len(b.Records))
+	}
+
+	if *identical {
+		bad := 0
+		for i := range a.Records {
+			ra, rb := a.Records[i], b.Records[i]
+			if key(ra) != key(rb) {
+				fail("record %d identity mismatch: %s vs %s", i, key(ra), key(rb))
+			}
+			diff := func(field string, va, vb any) {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s: %s drifted: %v vs %v\n", key(ra), field, va, vb)
+				bad++
+			}
+			// Copying fault counts (and the messages they generate) are
+			// interleaving-dependent at P>1; see the doc comment.
+			racy := a.P > 1 && ra.System == "copying"
+			if !racy && ra.SimMisses != rb.SimMisses {
+				diff("simmisses", ra.SimMisses, rb.SimMisses)
+			}
+			if ra.CleanCopies != rb.CleanCopies {
+				diff("cleancopies", ra.CleanCopies, rb.CleanCopies)
+			}
+			if ra.Verified != rb.Verified {
+				diff("verified", ra.Verified, rb.Verified)
+			}
+			if !racy && ra.NetMsgs != rb.NetMsgs {
+				diff("net_msgs", ra.NetMsgs, rb.NetMsgs)
+			}
+			if !racy && ra.NetBytes != rb.NetBytes {
+				diff("net_bytes", ra.NetBytes, rb.NetBytes)
+			}
+			if *cycles && ra.SimCycles != rb.SimCycles {
+				diff("simcycles", ra.SimCycles, rb.SimCycles)
+			}
+		}
+		if bad > 0 {
+			fail("%d deterministic field(s) drifted across %d records", bad, len(a.Records))
+		}
+		fmt.Printf("benchdiff: identical across %d records\n", len(a.Records))
+		return
+	}
+
+	// Regression gate: pooled geometric mean of per-record wall ratios.
+	var logSum float64
+	n := 0
+	worstKey, worstRatio := "", 0.0
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if key(ra) != key(rb) {
+			fail("record %d identity mismatch: %s vs %s", i, key(ra), key(rb))
+		}
+		if ra.WallNS <= 0 || rb.WallNS <= 0 {
+			continue // unmeasured cell; nothing to gate
+		}
+		ratio := float64(rb.WallNS) / float64(ra.WallNS)
+		logSum += math.Log(ratio)
+		n++
+		if ratio > worstRatio {
+			worstKey, worstRatio = key(ra), ratio
+		}
+	}
+	if n == 0 {
+		fail("no records carry wall-clock measurements")
+	}
+	geomean := math.Exp(logSum / float64(n))
+	change := (geomean - 1) * 100
+	fmt.Printf("benchdiff: pooled geomean wall-clock ratio %.3f (%+.1f%%) over %d records; worst %s at %.3f\n",
+		geomean, change, n, worstKey, worstRatio)
+	if change > *maxRegress {
+		fail("wall-clock regression %.1f%% exceeds budget %.1f%%", change, *maxRegress)
+	}
+}

@@ -10,8 +10,12 @@
 // Usage:
 //
 //	lcmbench [-scale N] [-p N] [-verify] [-table1] [-fig2] [-fig3] [-ablate]
+//	         [-net=uniform|fattree] [-linkbw N] [-nilat N] [-netsweep]
 //
-// With no selection flags, all experiments run.  -chaos runs the
+// With no selection flags, all experiments run.  -net selects the
+// interconnect model (the default uniform model reproduces the historical
+// flat charges bit-exactly; fattree adds topology and queueing), and
+// -netsweep runs the contention sensitivity sweep.  -chaos runs the
 // fault-injection campaign instead: every workload under every memory
 // system with seeded faults, asserting answers bit-identical to the
 // fault-free runs and recovery counters matching the injected plans; the
@@ -26,7 +30,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"lcm/internal/cost"
 	"lcm/internal/harness"
+	"lcm/internal/net"
 	"lcm/internal/workloads"
 )
 
@@ -56,7 +62,11 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
 	ablate := flag.Bool("ablate", false, "run only the Section 7 ablations")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos campaign")
-	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity); heavy at scale 1")
+	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity, interconnect); heavy at scale 1")
+	netModel := flag.String("net", "uniform", "interconnect model: uniform (flat charges, bit-identical to the historical model) or fattree (CM-5-style 4-ary fat tree with link/NI queueing)")
+	linkBW := flag.Int64("linkbw", 0, "fattree link serialization in cycles per byte (0 = default; higher = less bandwidth)")
+	niLat := flag.Int64("nilat", 0, "fattree network-interface occupancy in cycles per message end (0 = default)")
+	netSweep := flag.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
 	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
 	jsonPath := flag.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -88,8 +98,21 @@ func main() {
 	s := harness.New(os.Stdout)
 	s.Cfg = workloads.Config{P: *p, Verify: *verify}
 	s.Scale = *scale
+	if *netModel != "uniform" || *linkBW != 0 || *niLat != 0 {
+		netCfg := net.Config{Model: *netModel, CyclesPerByte: *linkBW, NICycles: *niLat}
+		if _, err := net.New(netCfg, *p, cost.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "lcmbench:", err)
+			os.Exit(2)
+		}
+		s.Cfg.Net = &netCfg
+	}
 
 	start := time.Now()
+	if *netSweep {
+		s.DefaultNetSweep()
+		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *chaos {
 		if err := s.RunChaos(harness.DefaultChaosPlans()); err != nil {
 			fmt.Fprintf(os.Stderr, "lcmbench: chaos campaign FAILED:\n%v\n", err)

@@ -262,16 +262,16 @@ func (p *LCM) phaseEntry(b memsys.BlockID, ph uint32) *entry {
 
 // chargeMiss charges a data-carrying fetch like Stache does.
 func (p *LCM) chargeMiss(n *tempest.Node, home int) {
-	c := p.m.Cost
+	m := p.m
 	n.Ctr.Misses++
 	if home == n.ID {
-		n.Charge(c.LocalFill)
+		n.Charge(m.Cost.LocalFill)
 		n.Ctr.LocalFills++
 		return
 	}
-	n.Charge(c.RemoteRoundTrip + int64(p.m.AS.BlockSize)*c.PerByte)
+	n.Charge(m.Net.RoundTrip(n.ID, home, int64(m.AS.BlockSize), n.Clock(), &n.Ctr.Net))
 	n.Ctr.RemoteMisses++
-	p.m.Nodes[home].ChargeRemote(c.HomeOccupancy)
+	m.Nodes[home].ChargeRemote(m.Cost.HomeOccupancy)
 }
 
 // ReadFault implements tempest.Protocol: obtain a read-only copy carrying
@@ -381,7 +381,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 		if home == n.ID {
 			n.Charge(c.MarkLocal)
 		} else {
-			n.Charge(c.Upgrade)
+			n.Charge(p.m.Net.Upgrade(n.ID, home, n.Clock(), &n.Ctr.Net))
 			p.m.Nodes[home].ChargeRemote(c.HomeOccupancy)
 		}
 	} else {
@@ -529,9 +529,9 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 	if home == n.ID {
 		n.Charge(c.LocalFill + words*c.MergePerWord)
 	} else {
-		// One-way message: fixed send cost plus payload bandwidth for
-		// the modified elements actually carried.
-		n.Charge(c.FlushPerBlock + words*int64(es)*c.PerByte)
+		// One-way message carrying the modified elements; the network
+		// charges the fixed send cost plus payload bandwidth.
+		n.Charge(p.m.Net.Flush(n.ID, home, words*int64(es), n.Clock(), &n.Ctr.Net))
 		p.m.Nodes[home].ChargeRemote(c.FlushOccupancy + words*c.MergePerWord)
 	}
 }
@@ -695,11 +695,11 @@ func (p *LCM) invalidateOutstanding(n *tempest.Node, b memsys.BlockID, e *entry,
 			continue
 		}
 		l.SetTag(tempest.TagInvalid)
+		n.Charge(p.m.Net.Invalidate(n.ID, id, n.Clock(), &n.Ctr.Net))
 		sent++
 	}
 	e.sharers = keep
 	n.Ctr.InvalidationsSent += sent
-	n.Charge(sent * p.m.Cost.InvalidatePerCopy)
 }
 
 // invalidateAllSharers drops every read-only copy of b.
@@ -710,7 +710,7 @@ func (p *LCM) invalidateAllSharers(n *tempest.Node, b memsys.BlockID, e *entry) 
 			l.SetTag(tempest.TagInvalid)
 		}
 		n.Ctr.InvalidationsSent++
-		n.Charge(p.m.Cost.InvalidatePerCopy)
+		n.Charge(p.m.Net.Invalidate(n.ID, id, n.Clock(), &n.Ctr.Net))
 	}
 	e.sharers = 0
 }

@@ -28,6 +28,15 @@ type BenchRecord struct {
 	// Verified reports whether the run was checked against the
 	// sequential reference (and passed; failed runs never reach here).
 	Verified bool `json:"verified,omitempty"`
+	// NetMsgs and NetBytes count protocol messages and bytes injected
+	// into the interconnect; deterministic for every network model.
+	NetMsgs  int64 `json:"net_msgs"`
+	NetBytes int64 `json:"net_bytes"`
+	// NetQueueCycles and MaxLinkBusy are contention observables; both
+	// are zero under the uniform model and interleaving-dependent under
+	// fattree, so they are excluded from determinism comparisons.
+	NetQueueCycles int64 `json:"net_queue_cycles,omitempty"`
+	MaxLinkBusy    int64 `json:"max_link_busy,omitempty"`
 }
 
 // BenchFile is the on-disk BENCH_*.json shape.
@@ -36,8 +45,10 @@ type BenchFile struct {
 	// UnixNS is the trajectory timestamp (when the campaign finished).
 	UnixNS int64 `json:"unix_ns"`
 	// P and Scale identify the configuration the records belong to.
-	P       int           `json:"p"`
-	Scale   int           `json:"scale"`
+	P     int `json:"p"`
+	Scale int `json:"scale"`
+	// Net names the interconnect model the records ran under.
+	Net     string        `json:"net,omitempty"`
 	Records []BenchRecord `json:"records"`
 }
 
@@ -58,15 +69,20 @@ func WriteJSON(w io.Writer, cfg workloads.Config, scale int, rows []map[cstar.Sy
 			if !ok {
 				continue
 			}
+			bf.Net = r.Net
 			bf.Records = append(bf.Records, BenchRecord{
-				Workload:    r.Workload,
-				Sched:       r.Sched,
-				System:      r.System.String(),
-				WallNS:      r.Wall.Nanoseconds(),
-				SimCycles:   r.Cycles,
-				SimMisses:   r.C.Misses,
-				CleanCopies: r.CleanCopies(),
-				Verified:    cfg.Verify && r.Err == nil,
+				Workload:       r.Workload,
+				Sched:          r.Sched,
+				System:         r.System.String(),
+				WallNS:         r.Wall.Nanoseconds(),
+				SimCycles:      r.Cycles,
+				SimMisses:      r.C.Misses,
+				CleanCopies:    r.CleanCopies(),
+				Verified:       cfg.Verify && r.Err == nil,
+				NetMsgs:        r.C.Net.TotalMsgs(),
+				NetBytes:       r.C.Net.Bytes,
+				NetQueueCycles: r.C.Net.QueueCycles,
+				MaxLinkBusy:    r.Links.MaxBusy,
 			})
 		}
 	}

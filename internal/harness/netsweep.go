@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"lcm/internal/cstar"
+	"lcm/internal/net"
+	"lcm/internal/stats"
+	"lcm/internal/workloads"
+)
+
+// NetSweepResult is one cell of the interconnect sensitivity sweep.
+type NetSweepResult struct {
+	// P is the machine size; CyclesPerByte the link serialization rate
+	// (higher = less bandwidth).
+	P             int
+	CyclesPerByte int64
+	System        cstar.System
+	Cycles        int64
+	Msgs          int64
+	Bytes         int64
+	QueueCycles   int64
+	MaxLinkBusy   int64
+}
+
+// RunNetworkSweep runs Stencil-dyn over the fat-tree interconnect across
+// machine sizes and link bandwidths, for the Copying baseline and
+// LCM-mcc.  This is the paper's central claim as a curve: LCM moves
+// fewer and cheaper messages, so making the network a contended resource
+// (more nodes, slower links) should widen its advantage, where the flat
+// uniform model could only ever show a constant gap.
+func (s *Suite) RunNetworkSweep(ps []int, cpbs []int64) []NetSweepResult {
+	var out []NetSweepResult
+	spec := s.StencilSpec("dynamic")
+	for _, p := range ps {
+		for _, cpb := range cpbs {
+			for _, sys := range []cstar.System{cstar.Copying, cstar.LCMmcc} {
+				cfg := s.Cfg
+				cfg.P = p
+				cfg.Net = &net.Config{Model: "fattree", CyclesPerByte: cpb}
+				r := workloads.RunStencil(sys, spec, cfg)
+				out = append(out, NetSweepResult{
+					P: p, CyclesPerByte: cpb, System: sys,
+					Cycles: r.Cycles,
+					Msgs:   r.C.Net.TotalMsgs(), Bytes: r.C.Net.Bytes,
+					QueueCycles: r.C.Net.QueueCycles,
+					MaxLinkBusy: r.Links.MaxBusy,
+				})
+			}
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: Stencil-dyn (%dx%d, %d iters) on the fat-tree interconnect",
+			spec.N, spec.N, spec.Iters),
+		"copying:cycles", "mcc:cycles", "mcc advantage",
+		"copying:msgs", "mcc:msgs", "copying:queue", "mcc:queue")
+	for _, p := range ps {
+		for _, cpb := range cpbs {
+			var cop, mcc NetSweepResult
+			for _, r := range out {
+				if r.P != p || r.CyclesPerByte != cpb {
+					continue
+				}
+				if r.System == cstar.Copying {
+					cop = r
+				} else {
+					mcc = r
+				}
+			}
+			tb.AddRow(fmt.Sprintf("P=%d cpb=%d", p, cpb), map[string]string{
+				"copying:cycles": stats.GroupInt(cop.Cycles),
+				"mcc:cycles":     stats.GroupInt(mcc.Cycles),
+				"mcc advantage":  stats.Speedup(cop.Cycles, mcc.Cycles) + "x",
+				"copying:msgs":   stats.GroupInt(cop.Msgs),
+				"mcc:msgs":       stats.GroupInt(mcc.Msgs),
+				"copying:queue":  stats.GroupInt(cop.QueueCycles),
+				"mcc:queue":      stats.GroupInt(mcc.QueueCycles),
+			})
+		}
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  with an explicit network, the baseline's larger message count turns into")
+	fmt.Fprintln(s.Out, "  queueing: LCM's advantage widens as links slow down or the machine grows")
+	fmt.Fprintln(s.Out, "  (the uniform model charged both systems the same flat per-message price).")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// DefaultNetSweep runs the network sweep at sizes suited to the scale.
+func (s *Suite) DefaultNetSweep() []NetSweepResult {
+	return s.RunNetworkSweep([]int{8, 16, 32}, []int64{2, 8, 32})
+}

@@ -280,4 +280,5 @@ func (s *Suite) RunSweeps() {
 	ws := 2 * spec.N * ((spec.N + per - 1) / per) / s.Cfg.P
 	s.RunCacheSweep([]int{0, 2 * ws, ws, ws / 2, ws / 4})
 	s.RunCommitSweep([]int{4, 8, 16, 32})
+	s.DefaultNetSweep()
 }

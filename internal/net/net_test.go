@@ -1,0 +1,105 @@
+package net
+
+import (
+	"testing"
+
+	"lcm/internal/cost"
+)
+
+// TestUniformMatchesFlatModel pins the uniform model to the legacy flat
+// charges: this is the bit-exactness contract of `-net=uniform`.
+func TestUniformMatchesFlatModel(t *testing.T) {
+	c := cost.Default()
+	u := NewUniform(c, DefaultHeaderBytes)
+	var ctr Counters
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"roundtrip+64B", u.RoundTrip(0, 1, 64, 0, &ctr), c.RemoteRoundTrip + 64*c.PerByte},
+		{"roundtrip+0B", u.RoundTrip(3, 0, 0, 999, &ctr), c.RemoteRoundTrip},
+		{"timeout", u.Timeout(0, 1, 0, &ctr), c.RemoteRoundTrip},
+		{"forward", u.Forward(1, 2, 0, &ctr), c.ThirdHop},
+		{"upgrade", u.Upgrade(0, 1, 0, &ctr), c.Upgrade},
+		{"invalidate", u.Invalidate(0, 1, 0, &ctr), c.InvalidatePerCopy},
+		{"flush+16B", u.Flush(0, 1, 16, 0, &ctr), c.FlushPerBlock + 16*c.PerByte},
+		{"flush+0B", u.Flush(0, 1, 0, 0, &ctr), c.FlushPerBlock},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: charged %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+	if ctr.QueueCycles != 0 {
+		t.Errorf("uniform model queued %d cycles, want 0", ctr.QueueCycles)
+	}
+	if u.LinkStats() != (LinkStats{}) {
+		t.Errorf("uniform model has link stats: %+v", u.LinkStats())
+	}
+}
+
+// TestUniformAccounting checks message/byte bookkeeping per method.
+func TestUniformAccounting(t *testing.T) {
+	u := NewUniform(cost.Default(), 8)
+	var c Counters
+	u.RoundTrip(0, 1, 32, 0, &c)
+	u.Forward(1, 2, 0, &c)
+	u.Upgrade(0, 1, 0, &c)
+	u.Invalidate(0, 1, 0, &c)
+	u.Flush(0, 1, 16, 0, &c)
+	u.Timeout(0, 1, 0, &c)
+	u.Barrier(0, &c)
+	want := Counters{Bytes: (16 + 32) + 8 + 16 + 8 + (8 + 16) + 8 + 8}
+	want.Msgs[MsgMissRequest] = 2 // round trip + timed-out resend
+	want.Msgs[MsgDataReply] = 1
+	want.Msgs[MsgForward] = 1
+	want.Msgs[MsgUpgrade] = 2
+	want.Msgs[MsgInvalidate] = 1
+	want.Msgs[MsgFlush] = 1
+	want.Msgs[MsgBarrier] = 1
+	if c != want {
+		t.Errorf("counters:\n got  %+v\n want %+v", c, want)
+	}
+	if got := c.TotalMsgs(); got != 9 {
+		t.Errorf("TotalMsgs = %d, want 9", got)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a.Msgs[MsgFlush] = 2
+	a.Bytes = 10
+	a.QueueCycles = 5
+	b.Msgs[MsgFlush] = 3
+	b.Msgs[MsgBarrier] = 1
+	b.Bytes = 7
+	a.Add(&b)
+	if a.Msgs[MsgFlush] != 5 || a.Msgs[MsgBarrier] != 1 || a.Bytes != 17 || a.QueueCycles != 5 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestNewSelectsModel(t *testing.T) {
+	c := cost.Default()
+	n, err := New(Config{}, 8, c)
+	if err != nil || n.Name() != "uniform" {
+		t.Fatalf("New(zero) = %v, %v; want uniform", n, err)
+	}
+	n, err = New(Config{Model: "fattree"}, 8, c)
+	if err != nil || n.Name() != "fattree" {
+		t.Fatalf("New(fattree) = %v, %v", n, err)
+	}
+	if _, err = New(Config{Model: "torus"}, 8, c); err == nil {
+		t.Fatal("New(torus) succeeded, want error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if MsgMissRequest.String() != "miss_request" || MsgBarrier.String() != "barrier" {
+		t.Errorf("kind names: %v %v", MsgMissRequest, MsgBarrier)
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("out-of-range kind: %v", Kind(99))
+	}
+}

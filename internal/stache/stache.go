@@ -83,22 +83,23 @@ func (p *Protocol) inspect(b memsys.BlockID) (string, int, uint64) {
 }
 
 // chargeMiss charges the requester for a data-carrying miss and counts it.
-// threeHop records whether a dirty remote owner had to be consulted.
-func (p *Protocol) chargeMiss(n *tempest.Node, home int, threeHop bool) {
-	c := p.m.Cost
+// threeHop records whether the dirty remote copy at owner had to be
+// consulted; owner is ignored otherwise.
+func (p *Protocol) chargeMiss(n *tempest.Node, home, owner int, threeHop bool) {
+	m := p.m
 	n.Ctr.Misses++
 	if home == n.ID && !threeHop {
-		n.Charge(c.LocalFill)
+		n.Charge(m.Cost.LocalFill)
 		n.Ctr.LocalFills++
 		return
 	}
-	n.Charge(c.RemoteRoundTrip + int64(p.m.AS.BlockSize)*c.PerByte)
+	n.Charge(m.Net.RoundTrip(n.ID, home, int64(m.AS.BlockSize), n.Clock(), &n.Ctr.Net))
 	n.Ctr.RemoteMisses++
 	if threeHop {
-		n.Charge(c.ThirdHop)
+		n.Charge(m.Net.Forward(home, owner, n.Clock(), &n.Ctr.Net))
 	}
 	if home != n.ID {
-		p.m.Nodes[home].ChargeRemote(c.HomeOccupancy)
+		m.Nodes[home].ChargeRemote(m.Cost.HomeOccupancy)
 	}
 }
 
@@ -123,6 +124,7 @@ func (p *Protocol) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	defer m.Unlock(b)
 	e := &p.entries[b]
 	threeHop := false
+	owner := home
 	if e.state == stateExcl {
 		if int(e.owner) == n.ID {
 			// Our own line must still be readable; a read fault here
@@ -130,6 +132,7 @@ func (p *Protocol) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 			// directory, which is a protocol bug.
 			panic(fmt.Sprintf("stache: node %d read fault on its own exclusive block %d", n.ID, b))
 		}
+		owner = int(e.owner)
 		p.recallDirty(b, e, tempest.TagReadOnly)
 		e.sharers = 1 << e.owner
 		e.state = stateShared
@@ -138,7 +141,7 @@ func (p *Protocol) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	l := n.Install(b, m.AS.HomeData(b), tempest.TagReadOnly)
 	e.sharers |= 1 << uint(n.ID)
 	e.state = stateShared
-	p.chargeMiss(n, home, threeHop)
+	p.chargeMiss(n, home, owner, threeHop)
 	if t := m.Trace; t != nil {
 		t.Record(n.ID, n.Clock(), trace.ReadMiss, uint32(b), 0)
 	}
@@ -159,15 +162,16 @@ func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 			panic(fmt.Sprintf("stache: node %d write fault on its own exclusive block %d", n.ID, b))
 		}
 		// Three-hop: recall the dirty copy, invalidate the old owner.
+		oldOwner := int(e.owner)
 		p.recallDirty(b, e, tempest.TagInvalid)
 		n.Ctr.InvalidationsSent++
-		n.Charge(m.Cost.InvalidatePerCopy)
+		n.Charge(m.Net.Invalidate(n.ID, oldOwner, n.Clock(), &n.Ctr.Net))
 		e.sharers = 0
 		e.state = stateIdle
 		l := n.Install(b, m.AS.HomeData(b), tempest.TagReadWrite)
 		e.state = stateExcl
 		e.owner = uint8(n.ID)
-		p.chargeMiss(n, home, true)
+		p.chargeMiss(n, home, oldOwner, true)
 		if t := m.Trace; t != nil {
 			t.Record(n.ID, n.Clock(), trace.WriteMiss, uint32(b), 0)
 		}
@@ -187,12 +191,12 @@ func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 		if home == n.ID {
 			n.Charge(m.Cost.MarkLocal)
 		} else {
-			n.Charge(m.Cost.Upgrade)
+			n.Charge(m.Net.Upgrade(n.ID, home, n.Clock(), &n.Ctr.Net))
 			p.m.Nodes[home].ChargeRemote(m.Cost.HomeOccupancy)
 		}
 	} else {
 		l = n.Install(b, m.AS.HomeData(b), tempest.TagReadWrite)
-		p.chargeMiss(n, home, false)
+		p.chargeMiss(n, home, home, false)
 	}
 	if t := m.Trace; t != nil {
 		k := trace.WriteMiss
@@ -227,12 +231,10 @@ func (p *Protocol) invalidateSharers(n *tempest.Node, b memsys.BlockID, e *entry
 		if t := p.m.Trace; t != nil {
 			t.Record(n.ID, n.Clock(), trace.Invalidate, uint32(b), int32(id))
 		}
+		n.Charge(p.m.Net.Invalidate(n.ID, id, n.Clock(), &n.Ctr.Net))
 		count++
 	}
-	if count > 0 {
-		n.Ctr.InvalidationsSent += int64(count)
-		n.Charge(int64(count) * p.m.Cost.InvalidatePerCopy)
-	}
+	n.Ctr.InvalidationsSent += int64(count)
 	return count
 }
 
@@ -253,7 +255,9 @@ func (p *Protocol) Evict(n *tempest.Node, b memsys.BlockID) bool {
 	case e.state == stateExcl && int(e.owner) == n.ID:
 		e.state = stateIdle
 		e.sharers = 0
-		n.Charge(m.Cost.FlushPerBlock) // dirty write-back message
+		// Dirty write-back message (no payload charge: coherent stores
+		// wrote the data through to the home image as they happened).
+		n.Charge(m.Net.Flush(n.ID, m.AS.HomeOf(b), 0, n.Clock(), &n.Ctr.Net))
 	default:
 		e.sharers &^= 1 << uint(n.ID)
 		if e.sharers == 0 && e.state == stateShared {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"lcm/internal/net"
 )
 
 // NodeCounters is the per-node event record.  All fields are updated only
@@ -71,6 +73,10 @@ type NodeCounters struct {
 	// virtual-clock jump.
 	Stalls      int64
 	StallCycles int64
+
+	// Net is the interconnect accounting record: messages injected by
+	// kind, bytes, and cycles spent queueing for busy channels.
+	Net net.Counters
 }
 
 // Add accumulates o into c.
@@ -95,6 +101,7 @@ func (c *NodeCounters) Add(o *NodeCounters) {
 	c.OccupancySpikes += o.OccupancySpikes
 	c.Stalls += o.Stalls
 	c.StallCycles += o.StallCycles
+	c.Net.Add(&o.Net)
 }
 
 // Shared holds machine-wide counters updated from protocol handlers under

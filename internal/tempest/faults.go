@@ -59,7 +59,7 @@ func (n *Node) preFault(b memsys.BlockID) {
 			})
 		}
 		backoff := f.Backoff(attempt)
-		n.clock += n.M.Cost.RemoteRoundTrip + backoff
+		n.clock += n.M.Net.Timeout(n.ID, n.M.AS.HomeOf(b), n.Clock(), &n.Ctr.Net) + backoff
 		n.Ctr.TransientTimeouts++
 		n.Ctr.FaultRetries++
 		n.Ctr.BackoffCycles += backoff
@@ -96,7 +96,7 @@ func (n *Node) deliverBlock(f *fault.Injector, b memsys.BlockID, l *Line, src []
 		n.Ctr.FaultRetries++
 		n.Ctr.BackoffCycles += backoff
 		if remote {
-			n.clock += n.M.Cost.RemoteRoundTrip + int64(n.M.AS.BlockSize)*n.M.Cost.PerByte + backoff
+			n.clock += n.M.Net.RoundTrip(n.ID, n.M.AS.HomeOf(b), int64(n.M.AS.BlockSize), n.Clock(), &n.Ctr.Net) + backoff
 		} else {
 			n.clock += n.M.Cost.LocalFill + backoff
 		}

@@ -28,6 +28,7 @@ import (
 	"lcm/internal/cost"
 	"lcm/internal/fault"
 	"lcm/internal/memsys"
+	"lcm/internal/net"
 	"lcm/internal/stats"
 	"lcm/internal/trace"
 )
@@ -181,6 +182,12 @@ type Machine struct {
 	// Attach with AttachFaults before Run.
 	Fault *fault.Injector
 
+	// Net prices and accounts every protocol message (see internal/net).
+	// New installs the uniform model, which reproduces the historical
+	// flat charges bit-exactly; SetNetwork swaps in a topology-aware
+	// model before Run.
+	Net net.Network
+
 	// Watchdog, when positive, bounds the wall-clock duration of any
 	// single barrier round: a round that stalls past the bound is
 	// aborted with per-node diagnostics instead of deadlocking, and
@@ -215,6 +222,7 @@ func New(p int, blockSize uint32, c cost.Model) *Machine {
 		P:    p,
 		AS:   memsys.NewAddressSpace(p, blockSize),
 		Cost: c,
+		Net:  net.NewUniform(c, 0),
 		bar:  NewBarrier(p),
 	}
 	m.Nodes = make([]*Node, p)
@@ -234,6 +242,13 @@ func (m *Machine) SetProtocol(p Protocol) {
 
 // Protocol returns the installed protocol.
 func (m *Machine) Protocol() Protocol { return m.protocol }
+
+// SetNetwork replaces the interconnect model.  Must precede Run.
+func (m *Machine) SetNetwork(nw net.Network) {
+	if nw != nil {
+		m.Net = nw
+	}
+}
 
 // RecordConfigError records a machine-configuration error caused by bad
 // user input (an invalid policy, a bad allocation request).  The first
@@ -514,6 +529,7 @@ func (n *Node) makeRoom() {
 // stall — the node panics with the distinguished abort error, which
 // RunErr recovers into a structured collateral failure.
 func (n *Node) Barrier() {
+	n.M.Net.Barrier(n.ID, &n.Ctr.Net)
 	n.FoldStolen()
 	c, err := n.M.bar.WaitNode(n.ID, n.clock)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lcm/internal/cstar"
+	"lcm/internal/net"
 	"lcm/internal/stats"
 )
 
@@ -76,6 +77,7 @@ func streamDetermined(c stats.NodeCounters) stats.NodeCounters {
 	c.Upgrades = 0
 	c.InvalidationsSent = 0
 	c.InvalidationsRecv = 0
+	c.Net = net.Counters{} // message accounting tracks the fault events above
 	return c
 }
 

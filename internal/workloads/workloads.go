@@ -22,6 +22,7 @@ import (
 	"lcm/internal/cost"
 	"lcm/internal/cstar"
 	"lcm/internal/fault"
+	"lcm/internal/net"
 	"lcm/internal/stache"
 	"lcm/internal/stats"
 	"lcm/internal/tempest"
@@ -60,6 +61,9 @@ type Config struct {
 	// differential testing of the span engine (accounting must be
 	// identical either way).
 	ScalarAccess bool
+	// Net selects the interconnect model (nil = uniform, which matches
+	// the historical flat charges bit-exactly; see internal/net).
+	Net *net.Config
 }
 
 func (c Config) norm() Config {
@@ -87,6 +91,14 @@ func (c Config) machine(sys cstar.System) *tempest.Machine {
 	}
 	m.Watchdog = c.Watchdog
 	m.ScalarAccess = c.ScalarAccess
+	if c.Net != nil {
+		nw, err := net.New(*c.Net, c.P, *c.CostModel)
+		if err != nil {
+			m.RecordConfigError(err)
+		} else {
+			m.SetNetwork(nw)
+		}
+	}
 	return m
 }
 
@@ -116,6 +128,10 @@ type Result struct {
 	// Faults is the injector's record of faults injected during the run
 	// (zero when Config.Faults was nil).
 	Faults fault.Tally
+	// Net is the run's network model name; Links summarizes channel
+	// occupancy (all zero under the uniform model, which has no links).
+	Net   string
+	Links net.LinkStats
 	// Err is non-nil if the run failed (a node died, a retry budget ran
 	// out, the watchdog fired) or verification failed.
 	Err error
@@ -151,6 +167,8 @@ func finish(m *tempest.Machine, r *Result) {
 	r.Cycles = m.MaxClock()
 	r.C = m.TotalCounters()
 	r.S = m.Shared.Snapshot()
+	r.Net = m.Net.Name()
+	r.Links = m.Net.LinkStats()
 	r.Trace = m.Trace
 	if m.Fault != nil {
 		r.Faults = m.Fault.Tally()
