@@ -9,23 +9,19 @@
 //
 //	benchdiff [-max-regress 10] baseline.json current.json
 //
-// Identity check (-identical): compare only the deterministic fields of
-// each record — workload, sched, system, simulated misses, clean copies,
-// verification status, and network message/byte counts — and fail on any
-// difference.  Wall-clock time, timestamps, and (by default) simulated
-// cycles are excluded: cycle totals at P>1 depend on goroutine
-// interleaving around barriers (see PROTOCOLS.md), so the CI determinism
-// job pins counters, not clocks.  -cycles adds simulated cycles to the
-// comparison for single-actor or P=1 configurations.
+// Identity check (-identical): compare every simulation observable of
+// each record — workload, sched, system, simulated cycles, misses, clean
+// copies, verification status, and network message/byte counts — and
+// fail on any difference.  Only host-time fields (wall clock, the file
+// timestamp) are excluded: under the deterministic scheduler
+// (internal/sched, the default) every observable, simulated cycles and
+// Copying fault counts included, is a pure function of (workload, P,
+// schedule seed) at every P, so two runs of the same configuration must
+// be bit-identical with no carve-outs.  Comparing files recorded under
+// different schedule seeds or with the scheduler disabled is a
+// configuration mismatch, reported before any record is compared.
 //
-// Copying records at P>1 additionally drop misses and message/byte
-// counts from the comparison: the eagerly coherent baseline invalidates
-// copies mid-phase, so its fault counts race the victims' accesses and
-// are not run-to-run reproducible (see the stream-determined discussion
-// in internal/workloads/differential_test.go).  LCM records are pinned
-// on every field.
-//
-//	benchdiff -identical [-cycles] a.json b.json
+//	benchdiff -identical a.json b.json
 //
 // Exit status: 0 on pass, 1 on mismatch/regression, 2 on usage errors.
 package main
@@ -70,18 +66,21 @@ func key(r harness.BenchRecord) string {
 }
 
 func main() {
-	identical := flag.Bool("identical", false, "compare deterministic record fields exactly instead of gating wall-clock regression")
-	cycles := flag.Bool("cycles", false, "with -identical, also require simulated cycles to match (only deterministic at P=1 or in single-actor runs)")
+	identical := flag.Bool("identical", false, "compare every simulation observable exactly instead of gating wall-clock regression")
 	maxRegress := flag.Float64("max-regress", 10, "maximum allowed pooled-geomean wall-clock regression, percent")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		usage("usage: benchdiff [-identical [-cycles] | -max-regress PCT] baseline.json current.json")
+		usage("usage: benchdiff [-identical | -max-regress PCT] baseline.json current.json")
 	}
 	a, b := load(flag.Arg(0)), load(flag.Arg(1))
 
 	if a.P != b.P || a.Scale != b.Scale || a.Net != b.Net {
 		fail("configuration mismatch: p/scale/net %d/%d/%q vs %d/%d/%q",
 			a.P, a.Scale, a.Net, b.P, b.Scale, b.Net)
+	}
+	if a.Scheduler != b.Scheduler || a.SchedSeed != b.SchedSeed {
+		fail("configuration mismatch: scheduler %q seed %d vs %q seed %d (records from different schedules are not comparable)",
+			a.Scheduler, a.SchedSeed, b.Scheduler, b.SchedSeed)
 	}
 	if len(a.Records) != len(b.Records) {
 		fail("record count mismatch: %d vs %d", len(a.Records), len(b.Records))
@@ -98,10 +97,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchdiff: %s: %s drifted: %v vs %v\n", key(ra), field, va, vb)
 				bad++
 			}
-			// Copying fault counts (and the messages they generate) are
-			// interleaving-dependent at P>1; see the doc comment.
-			racy := a.P > 1 && ra.System == "copying"
-			if !racy && ra.SimMisses != rb.SimMisses {
+			if ra.SimCycles != rb.SimCycles {
+				diff("simcycles", ra.SimCycles, rb.SimCycles)
+			}
+			if ra.SimMisses != rb.SimMisses {
 				diff("simmisses", ra.SimMisses, rb.SimMisses)
 			}
 			if ra.CleanCopies != rb.CleanCopies {
@@ -110,14 +109,17 @@ func main() {
 			if ra.Verified != rb.Verified {
 				diff("verified", ra.Verified, rb.Verified)
 			}
-			if !racy && ra.NetMsgs != rb.NetMsgs {
+			if ra.NetMsgs != rb.NetMsgs {
 				diff("net_msgs", ra.NetMsgs, rb.NetMsgs)
 			}
-			if !racy && ra.NetBytes != rb.NetBytes {
+			if ra.NetBytes != rb.NetBytes {
 				diff("net_bytes", ra.NetBytes, rb.NetBytes)
 			}
-			if *cycles && ra.SimCycles != rb.SimCycles {
-				diff("simcycles", ra.SimCycles, rb.SimCycles)
+			if ra.NetQueueCycles != rb.NetQueueCycles {
+				diff("net_queue_cycles", ra.NetQueueCycles, rb.NetQueueCycles)
+			}
+			if ra.MaxLinkBusy != rb.MaxLinkBusy {
+				diff("max_link_busy", ra.MaxLinkBusy, rb.MaxLinkBusy)
 			}
 		}
 		if bad > 0 {

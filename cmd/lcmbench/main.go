@@ -11,11 +11,16 @@
 //
 //	lcmbench [-scale N] [-p N] [-verify] [-table1] [-fig2] [-fig3] [-ablate]
 //	         [-net=uniform|fattree] [-linkbw N] [-nilat N] [-netsweep]
+//	         [-schedseed N] [-freerun]
 //
 // With no selection flags, all experiments run.  -net selects the
 // interconnect model (the default uniform model reproduces the historical
 // flat charges bit-exactly; fattree adds topology and queueing), and
-// -netsweep runs the contention sensitivity sweep.  -chaos runs the
+// -netsweep runs the contention sensitivity sweep.  Runs are scheduled by
+// the deterministic virtual-time scheduler (internal/sched): every
+// observable, simulated cycles included, is a pure function of the
+// configuration and -schedseed.  -freerun restores host-scheduled
+// goroutine interleaving for wall-clock parallelism measurements.  -chaos runs the
 // fault-injection campaign instead: every workload under every memory
 // system with seeded faults, asserting answers bit-identical to the
 // fault-free runs and recovery counters matching the injected plans; the
@@ -67,6 +72,8 @@ func main() {
 	linkBW := flag.Int64("linkbw", 0, "fattree link serialization in cycles per byte (0 = default; higher = less bandwidth)")
 	niLat := flag.Int64("nilat", 0, "fattree network-interface occupancy in cycles per message end (0 = default)")
 	netSweep := flag.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
+	schedSeed := flag.Uint64("schedseed", 0, "deterministic schedule seed (0 = canonical cycle/node order; other seeds permute same-cycle ties)")
+	freeRun := flag.Bool("freerun", false, "disable the deterministic scheduler and let node goroutines interleave at the host's whim (observables are then not run-to-run reproducible)")
 	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
 	jsonPath := flag.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -96,7 +103,7 @@ func main() {
 		})
 	}
 	s := harness.New(os.Stdout)
-	s.Cfg = workloads.Config{P: *p, Verify: *verify}
+	s.Cfg = workloads.Config{P: *p, Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun}
 	s.Scale = *scale
 	if *netModel != "uniform" || *linkBW != 0 || *niLat != 0 {
 		netCfg := net.Config{Model: *netModel, CyclesPerByte: *linkBW, NICycles: *niLat}

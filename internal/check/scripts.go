@@ -1,0 +1,93 @@
+package check
+
+import "fmt"
+
+// val derives a unique, recognizable value for a write so a lost or
+// misdirected update names its origin in failure output.
+func val(phase, node, block, slot int) float32 {
+	return float32(1000*(phase+1) + 100*node + 10*block + slot)
+}
+
+// Scripts returns the canned access programs for a machine of the given
+// shape.  Each stays within the C** race discipline (one writer per
+// element per phase, no reads of another node's same-phase writes) while
+// maximizing protocol contention: false sharing inside blocks, ownership
+// migration across phases, and cross-node read-after-reconcile chains.
+func Scripts(nodes, blocks int) []Script {
+	if nodes < 2 || nodes > slotsPerBlock || blocks < 2 {
+		panic(fmt.Sprintf("check: unsupported shape %d nodes x %d blocks", nodes, blocks))
+	}
+
+	// pingpong: every node writes its own slot of every block each phase
+	// (false sharing: all nodes contend for every block), then reads its
+	// peer's previous-phase slot.  Phases alternate between two slot
+	// groups so reads never touch an element being written this phase.
+	if 2*nodes > slotsPerBlock {
+		panic(fmt.Sprintf("check: pingpong needs 2*%d slots per block, have %d", nodes, slotsPerBlock))
+	}
+	group := func(ph int) int { return (ph % 2) * nodes }
+	pingpong := Script{Name: "pingpong", Phases: make([][][]Op, 2)}
+	for ph := range pingpong.Phases {
+		pingpong.Phases[ph] = make([][]Op, nodes)
+		for n := 0; n < nodes; n++ {
+			var ops []Op
+			for b := 0; b < blocks; b++ {
+				if ph > 0 {
+					ops = append(ops, Op{Block: b, Slot: (n+1)%nodes + group(ph-1)})
+				}
+				s := n + group(ph)
+				ops = append(ops, Op{Write: true, Block: b, Slot: s, Val: val(ph, n, b, s)})
+			}
+			pingpong.Phases[ph][n] = ops
+		}
+	}
+
+	// handoff: one rotating owner writes slot ph of every block in phase
+	// ph while everyone reads the previous owner's slot — the
+	// read-after-reconcile chain a lost update would break.  Writing a
+	// fresh slot per phase keeps reads race-free under the discipline.
+	handoff := Script{Name: "handoff", Phases: make([][][]Op, nodes+1)}
+	for ph := range handoff.Phases {
+		handoff.Phases[ph] = make([][]Op, nodes)
+		owner := ph % nodes
+		for n := 0; n < nodes; n++ {
+			var ops []Op
+			for b := 0; b < blocks; b++ {
+				if ph > 0 {
+					ops = append(ops, Op{Block: b, Slot: ph - 1})
+				}
+				if n == owner {
+					ops = append(ops, Op{Write: true, Block: b, Slot: ph, Val: val(ph, n, b, ph)})
+				}
+			}
+			handoff.Phases[ph][n] = ops
+		}
+	}
+
+	// mixed: node 0 produces into one block while the others hammer the
+	// last block's slots; the second phase swaps node 0 to the contended
+	// block and the others away from it, so both blocks change their
+	// reader and writer sets across one reconciliation.
+	last := blocks - 1
+	mixed := Script{Name: "mixed", Phases: make([][][]Op, 2)}
+	for n := 0; n < nodes; n++ {
+		var p0, p1 []Op
+		if n == 0 {
+			p0 = []Op{{Write: true, Block: 0, Slot: 0, Val: val(0, 0, 0, 0)}}
+			p1 = []Op{
+				{Block: last, Slot: 1}, // node 1's phase-0 value; unwritten in phase 1
+				{Write: true, Block: last, Slot: 0, Val: val(1, 0, last, 0)},
+			}
+		} else {
+			p0 = []Op{{Write: true, Block: last, Slot: n, Val: val(0, n, last, n)}}
+			p1 = []Op{
+				{Block: 0, Slot: 0}, // node 0's phase-0 value; unwritten in phase 1
+				{Write: true, Block: 0, Slot: n, Val: val(1, n, 0, n)},
+			}
+		}
+		mixed.Phases[0] = append(mixed.Phases[0], p0)
+		mixed.Phases[1] = append(mixed.Phases[1], p1)
+	}
+
+	return []Script{pingpong, handoff, mixed}
+}

@@ -283,6 +283,7 @@ func (p *LCM) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	}
 	home := p.m.AS.HomeOf(b)
 	ph := p.phase.Load()
+	n.SchedYield() // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	// The home image is not updated until reconciliation commits, so it
@@ -350,6 +351,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	}
 
 	home := p.m.AS.HomeOf(b)
+	n.SchedYield() // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	e := p.phaseEntry(b, ph)
@@ -445,6 +447,7 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 	home := p.m.AS.HomeOf(b)
 	c := p.m.Cost
 
+	n.SchedYield() // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	e := &p.entries[b]
 	if !e.hasPending || e.gen != p.phase.Load() {
@@ -581,6 +584,7 @@ func (p *LCM) Evict(n *tempest.Node, b memsys.BlockID) bool {
 	if l.Tag() == tempest.TagPrivate {
 		return false
 	}
+	n.SchedYield() // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	p.entries[b].sharers &^= 1 << uint(n.ID)

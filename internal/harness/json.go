@@ -33,8 +33,9 @@ type BenchRecord struct {
 	NetMsgs  int64 `json:"net_msgs"`
 	NetBytes int64 `json:"net_bytes"`
 	// NetQueueCycles and MaxLinkBusy are contention observables; both
-	// are zero under the uniform model and interleaving-dependent under
-	// fattree, so they are excluded from determinism comparisons.
+	// are zero under the uniform model (which has no links).  Under the
+	// deterministic scheduler they are as reproducible as every other
+	// observable and are held to the same identity check.
 	NetQueueCycles int64 `json:"net_queue_cycles,omitempty"`
 	MaxLinkBusy    int64 `json:"max_link_busy,omitempty"`
 }
@@ -43,25 +44,41 @@ type BenchRecord struct {
 type BenchFile struct {
 	Schema string `json:"schema"`
 	// UnixNS is the trajectory timestamp (when the campaign finished).
+	// It is the only file-level field that varies between two runs of the
+	// same configuration; MarshalDeterministic leaves it zero.
 	UnixNS int64 `json:"unix_ns"`
 	// P and Scale identify the configuration the records belong to.
 	P     int `json:"p"`
 	Scale int `json:"scale"`
 	// Net names the interconnect model the records ran under.
-	Net     string        `json:"net,omitempty"`
-	Records []BenchRecord `json:"records"`
+	Net string `json:"net,omitempty"`
+	// Scheduler records how node interleaving was resolved: "det" for the
+	// deterministic virtual-time scheduler (the default; SchedSeed selects
+	// the schedule) or "freerun" for host-scheduled goroutines.  Records
+	// from different schedules are not comparable observable-for-
+	// observable, so benchdiff refuses to diff across a mismatch.
+	Scheduler string        `json:"scheduler,omitempty"`
+	SchedSeed uint64        `json:"sched_seed,omitempty"`
+	Records   []BenchRecord `json:"records"`
 }
 
 // benchSchema names the record layout; bump when fields change meaning.
-const benchSchema = "lcmbench/1"
+const benchSchema = "lcmbench/2"
 
-// WriteJSON renders benchmark rows as a BENCH_*.json trajectory file.
-func WriteJSON(w io.Writer, cfg workloads.Config, scale int, rows []map[cstar.System]workloads.Result) error {
+// benchFile collects benchmark rows into the BENCH_*.json shape with no
+// timestamp: every byte of the result is a pure function of the rows and
+// configuration.
+func benchFile(cfg workloads.Config, scale int, rows []map[cstar.System]workloads.Result) BenchFile {
 	bf := BenchFile{
 		Schema: benchSchema,
-		UnixNS: time.Now().UnixNano(),
 		P:      cfg.P,
 		Scale:  scale,
+	}
+	if cfg.FreeRun {
+		bf.Scheduler = "freerun"
+	} else {
+		bf.Scheduler = "det"
+		bf.SchedSeed = cfg.SchedSeed
 	}
 	for _, row := range rows {
 		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
@@ -86,7 +103,27 @@ func WriteJSON(w io.Writer, cfg workloads.Config, scale int, rows []map[cstar.Sy
 			})
 		}
 	}
+	return bf
+}
+
+// WriteJSON renders benchmark rows as a BENCH_*.json trajectory file,
+// stamped with the current time.
+func WriteJSON(w io.Writer, cfg workloads.Config, scale int, rows []map[cstar.System]workloads.Result) error {
+	bf := benchFile(cfg, scale, rows)
+	bf.UnixNS = time.Now().UnixNano()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(bf)
+}
+
+// MarshalDeterministic renders benchmark rows as BENCH_*.json bytes with
+// the timestamp left zero and wall-clock times masked, so two runs of the
+// same (workload set, P, scale, schedule seed) configuration must produce
+// byte-identical output.  The replay tests assert exactly that.
+func MarshalDeterministic(cfg workloads.Config, scale int, rows []map[cstar.System]workloads.Result) ([]byte, error) {
+	bf := benchFile(cfg, scale, rows)
+	for i := range bf.Records {
+		bf.Records[i].WallNS = 0
+	}
+	return json.MarshalIndent(bf, "", "  ")
 }

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"lcm/internal/cstar"
+	"lcm/internal/workloads"
+)
+
+// Replay tests: running the same (workload, P, schedule seed) twice must
+// produce byte-identical trajectory JSON — simulated cycles, Copying
+// fault counts, and network counters included.  This is the end-to-end
+// statement of the deterministic scheduler's contract, one level above
+// the per-field assertions in internal/workloads: if any observable
+// anywhere in a record drifts between runs, the marshalled bytes differ.
+//
+// Stencil-dynamic and Adaptive-dynamic are the adversarial picks: both
+// use the rotating schedule, so block ownership migrates across phases
+// and the Copying baseline invalidates mid-phase, which was the classic
+// source of run-to-run wobble before internal/sched.
+
+func replayRows(t *testing.T, cfg workloads.Config) []map[cstar.System]workloads.Result {
+	t.Helper()
+	runs := []func(sys cstar.System) workloads.Result{
+		func(sys cstar.System) workloads.Result {
+			return workloads.RunStencil(sys, workloads.StencilSpec{N: 64, Iters: 4, Sched: "dynamic"}, cfg)
+		},
+		func(sys cstar.System) workloads.Result {
+			return workloads.RunAdaptive(sys, workloads.AdaptiveSpec{N: 16, MaxDepth: 3, Iters: 8,
+				Sched: "dynamic", Electrodes: 3, SubdivThreshold: 4}, cfg)
+		},
+	}
+	rows := make([]map[cstar.System]workloads.Result, 0, len(runs))
+	for _, run := range runs {
+		row := map[cstar.System]workloads.Result{}
+		for _, sys := range []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc} {
+			r := run(sys)
+			if r.Err != nil {
+				t.Fatalf("%s/%v (seed %d): run failed: %v", r.Workload, sys, cfg.SchedSeed, r.Err)
+			}
+			row[sys] = r
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestReplayByteIdenticalJSON runs Stencil-dynamic and Adaptive-dynamic
+// at P=8 twice per schedule seed and asserts the deterministic JSON
+// renderings are byte-identical.
+func TestReplayByteIdenticalJSON(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+		cfg := workloads.Config{P: 8, Verify: true, SchedSeed: seed}
+		first, err := MarshalDeterministic(cfg, 16, replayRows(t, cfg))
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		second, err := MarshalDeterministic(cfg, 16, replayRows(t, cfg))
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("seed %d: replay JSON differs between two runs:\n--- first ---\n%s\n--- second ---\n%s",
+				seed, first, second)
+		}
+	}
+}

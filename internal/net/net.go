@@ -14,9 +14,12 @@
 //   - FatTree routes messages over a CM-5-style 4-ary fat tree with
 //     per-hop latency, per-byte serialization, and per-channel and
 //     per-NI queueing in virtual time.  Queueing makes it sensitive to
-//     contention, and (like any cross-node queue observed from racing
-//     virtual clocks) run-to-run nondeterministic at P>1; it is an
-//     analysis mode, not a goldens mode.
+//     contention and to the interleaving; under the deterministic
+//     scheduler (the workloads default) its totals replay
+//     bit-identically, but its different pricing selects a different
+//     schedule than the uniform model's, so order-dependent observables
+//     legitimately differ between the two.  It is an analysis mode, not
+//     a goldens mode.
 //
 // Both models account messages, bytes, and queueing cycles into the
 // calling node's net.Counters, which internal/stats embeds per node.

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTieBreak checks that Order is a strict total order — irreflexive,
+// antisymmetric, transitive — for arbitrary seeds and candidate sets.  The
+// scheduler's determinism rests entirely on this: sort.Slice over a
+// non-total "order" is host-dependent, which is exactly the bug class this
+// package exists to remove.
+//
+// The input encodes a seed followed by up to 16 candidates as
+// (clock, node, seq) triples; node IDs are forced distinct, as they are in
+// the run queue (one entry per Ready node).
+func FuzzTieBreak(f *testing.F) {
+	// Seed corpus: canonical order, a hash seed, same-clock ties, and
+	// clock/seq extremes.
+	f.Add(uint64(0), []byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint64(1), []byte{5, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint64(0xdeadbeef), []byte{255, 255, 255, 255, 255, 255, 255, 127})
+	f.Add(uint64(42), make([]byte, 16*8))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		var cands []Candidate
+		for i := 0; i+8 <= len(raw) && len(cands) < 16; i += 8 {
+			v := binary.LittleEndian.Uint64(raw[i:])
+			cands = append(cands, Candidate{
+				Node:  len(cands), // distinct, like the run queue
+				Clock: int64(v >> 16),
+				Seq:   v & 0xffff,
+			})
+		}
+		for i := range cands {
+			if Order(seed, cands[i], cands[i]) {
+				t.Fatalf("seed %#x: candidate %d ordered before itself", seed, i)
+			}
+			for j := range cands {
+				if i == j {
+					continue
+				}
+				ab := Order(seed, cands[i], cands[j])
+				ba := Order(seed, cands[j], cands[i])
+				if ab == ba {
+					t.Fatalf("seed %#x: candidates %d,%d not antisymmetric/total: ab=%v ba=%v (%+v vs %+v)",
+						seed, i, j, ab, ba, cands[i], cands[j])
+				}
+				if !ab {
+					continue
+				}
+				for k := range cands {
+					if k == i || k == j {
+						continue
+					}
+					// a < b && b < c must imply a < c.
+					if Order(seed, cands[j], cands[k]) && !Order(seed, cands[i], cands[k]) {
+						t.Fatalf("seed %#x: order not transitive over %d,%d,%d", seed, i, j, k)
+					}
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lcm/internal/sched"
 )
 
 // Barrier is a reusable sense-reversing barrier that also computes the
@@ -34,6 +36,18 @@ type Barrier struct {
 
 	// err, once set, poisons the barrier: all waits return it.
 	err error
+
+	// foldClocks, when non-nil (machine barriers), is called under mu at
+	// the instant the last participant arrives; it folds every node's
+	// stolen handler cycles and returns the resulting clock maximum.  All
+	// participants are quiescent inside WaitNode at that point, so the
+	// fold cannot race an in-flight ChargeRemote.
+	foldClocks func() int64
+
+	// sched, when non-nil, is the run's deterministic scheduler: parkers
+	// hand the token on, the last arriver readies them, and an abort
+	// poisons the scheduler so unwinding nodes free-run.
+	sched *sched.Scheduler
 
 	watchdog time.Duration
 	onStall  func(present []bool) string
@@ -77,6 +91,14 @@ func (e *StallError) Error() string {
 // Is matches ErrStalled.
 func (e *StallError) Is(t error) bool { return t == ErrStalled }
 
+// setSched attaches (or detaches, with nil) a run's deterministic
+// scheduler.
+func (b *Barrier) setSched(s *sched.Scheduler) {
+	b.mu.Lock()
+	b.sched = s
+	b.mu.Unlock()
+}
+
 // SetWatchdog bounds the wall-clock duration of any single barrier round
 // (0 disables).  onStall, when non-nil, is invoked — with the barrier
 // lock held, so parked nodes are quiescent and their state is safely
@@ -107,9 +129,10 @@ func (b *Barrier) Wait(clock int64) int64 {
 // the caller passed in.
 func (b *Barrier) WaitNode(node int, clock int64) (int64, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.err != nil {
-		return clock, b.err
+		err := b.err
+		b.mu.Unlock()
+		return clock, err
 	}
 	if clock > b.max {
 		b.max = clock
@@ -119,8 +142,32 @@ func (b *Barrier) WaitNode(node int, clock int64) (int64, error) {
 	if node >= 0 && node < len(b.present) {
 		b.present[node] = true
 	}
+	s := b.sched
+	if s != nil && node >= 0 {
+		s.NoteBarrier() // the running segment crosses a barrier
+	}
 	if b.arrived == b.n {
+		// Last arriver: every participant is inside WaitNode, so fold the
+		// stolen handler cycles race-free (see foldClocks) and resolve the
+		// round at the true clock maximum.
+		if b.foldClocks != nil {
+			if f := b.foldClocks(); f > b.max {
+				b.max = f
+			}
+		}
 		b.result = b.max
+		res := b.result
+		// Under the deterministic scheduler the last arriver — the only
+		// running node — readies its parked siblings itself, so wakeup
+		// order never depends on the host (invariant 1 in sched's docs).
+		// All resume at the barrier's resolved time; ties break by node.
+		if s != nil && node >= 0 {
+			for i, p := range b.present {
+				if p && i != node {
+					s.SetReadyAt(i, res)
+				}
+			}
+		}
 		b.max = 0
 		b.arrived = 0
 		for i := range b.present {
@@ -129,18 +176,38 @@ func (b *Barrier) WaitNode(node int, clock int64) (int64, error) {
 		b.gen++
 		b.stopTimer()
 		b.cond.Broadcast()
-		return b.result, nil
+		b.mu.Unlock()
+		if s != nil && node >= 0 {
+			// Re-enter the run queue alongside the siblings just readied.
+			s.Yield(node, res)
+		}
+		return res, nil
 	}
 	if b.arrived == 1 && b.watchdog > 0 {
 		b.timer = time.AfterFunc(b.watchdog, func() { b.stalled(gen) })
+	}
+	if s != nil && node >= 0 {
+		// Hand the token on before parking.  Safe while holding b.mu: the
+		// granted node can only contend for b.mu once we release it inside
+		// cond.Wait, and nothing we touch until then is simulator state.
+		s.Block(node)
 	}
 	for gen == b.gen && b.err == nil {
 		b.cond.Wait()
 	}
 	if b.err != nil {
-		return clock, b.err
+		err := b.err
+		b.mu.Unlock()
+		return clock, err
 	}
-	return b.result, nil
+	res := b.result
+	b.mu.Unlock()
+	if s != nil && node >= 0 {
+		// Readied by the last arriver; wait for the run queue's grant
+		// before re-entering simulator code.
+		s.AwaitGrant(node)
+	}
+	return res, nil
 }
 
 // Abort poisons the barrier with cause: every parked waiter wakes and
@@ -160,6 +227,11 @@ func (b *Barrier) abortLocked(cause error) {
 		b.err = cause
 	} else {
 		b.err = &abortedError{cause: cause}
+	}
+	if b.sched != nil {
+		// Lock order is always barrier → scheduler, so poisoning here is
+		// safe; released waiters must not block on the dead run queue.
+		b.sched.Poison()
 	}
 	b.stopTimer()
 	b.cond.Broadcast()

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lcm/internal/sched"
 )
 
 // This file is the hardened execution core.  Run historically crashed the
@@ -128,6 +130,27 @@ func (m *Machine) RunErr(body func(n *Node)) error {
 	} else {
 		m.bar.SetWatchdog(0, nil)
 	}
+	// Each run gets a fresh deterministic scheduler (the previous run's, if
+	// any, is fully drained: RunErr does not return while node goroutines
+	// live).  A barrier abort or watchdog stall poisons it so unwinding
+	// nodes free-run; a node that exits while a sibling still waits at the
+	// barrier is a deadlock the scheduler detects and converts to an abort.
+	var sc *sched.Scheduler
+	if m.DetSched {
+		sc = sched.New(m.P, m.SchedSeed)
+		if m.SchedHook != nil {
+			m.SchedHook(sc)
+		}
+		sc.OnDeadlock(func() {
+			m.bar.Abort(errors.New("tempest: scheduler deadlock: all live nodes blocked"))
+		})
+		m.schedder = sc
+		m.bar.setSched(sc)
+		sc.Start()
+	} else {
+		m.schedder = nil
+		m.bar.setSched(nil)
+	}
 
 	var (
 		mu       sync.Mutex
@@ -158,10 +181,18 @@ func (m *Machine) RunErr(body func(n *Node)) error {
 				}
 				mu.Unlock()
 				if err != nil {
+					// Abort (which poisons the scheduler) before Exit, so
+					// the token is never handed onward from a dying run.
 					m.bar.Abort(fmt.Errorf("node %d died: %w", nd.ID, err))
 					failOnce.Do(func() { close(failed) })
 				}
+				if sc != nil {
+					sc.Exit(nd.ID)
+				}
 			}()
+			if sc != nil {
+				sc.AwaitGrant(nd.ID)
+			}
 			body(nd)
 			nd.FoldStolen()
 		}(nd)

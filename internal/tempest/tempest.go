@@ -29,6 +29,7 @@ import (
 	"lcm/internal/fault"
 	"lcm/internal/memsys"
 	"lcm/internal/net"
+	"lcm/internal/sched"
 	"lcm/internal/stats"
 	"lcm/internal/trace"
 )
@@ -203,11 +204,31 @@ type Machine struct {
 	// Run.
 	ScalarAccess bool
 
+	// DetSched enables the deterministic virtual-time scheduler (see
+	// internal/sched): node goroutines hand a cooperative token around at
+	// synchronization points instead of free-running, so the whole
+	// interleaving — and with it simulated cycles and order-dependent
+	// fault counts at P>1 — is a pure function of (workload, P,
+	// SchedSeed).  Set before Run.  Off by default at this level so raw
+	// tempest tests exercise the free-running engine; the workloads layer
+	// turns it on by default.
+	DetSched bool
+
+	// SchedSeed selects the deterministic schedule's tie-break hash when
+	// DetSched is set (0 = canonical cycle/node order).
+	SchedSeed uint64
+
+	// SchedHook, when non-nil, is invoked on each run's fresh scheduler
+	// before it starts, so the model checker (internal/check) can install
+	// its chooser, observer, and footprint recording.
+	SchedHook func(*sched.Scheduler)
+
 	protocol Protocol
 	locks    []sync.Mutex
 	bar      *Barrier
 	frozen   bool
 	cfgErr   error
+	schedder *sched.Scheduler
 
 	// trackWrites is set at Freeze when any region requests conflict
 	// checking; it gates the per-store word recording.
@@ -228,6 +249,22 @@ func New(p int, blockSize uint32, c cost.Model) *Machine {
 	m.Nodes = make([]*Node, p)
 	for i := range m.Nodes {
 		m.Nodes[i] = &Node{ID: i, M: m}
+	}
+	// Fold every node's stolen handler cycles into the barrier maximum at
+	// the instant the last participant arrives.  At that point all P nodes
+	// are inside WaitNode — the parked ones under the barrier mutex, so no
+	// ChargeRemote can be in flight — which makes the fold race-free and
+	// the barrier result independent of host scheduling (the historical
+	// FoldStolen wobble: a charge could land before or after its victim's
+	// pre-barrier fold, moving the max by the stolen amount).
+	m.bar.foldClocks = func() int64 {
+		var max int64
+		for _, nd := range m.Nodes {
+			if c := nd.clock + nd.stolen.Swap(0); c > max {
+				max = c
+			}
+		}
+		return max
 	}
 	return m
 }
@@ -306,13 +343,25 @@ func (m *Machine) Frozen() bool { return m.frozen }
 
 // Lock acquires the home/directory lock of block b.  All protocol state
 // transitions and cross-node data movement for b happen under this lock.
-func (m *Machine) Lock(b memsys.BlockID) { m.locks[b].Lock() }
+// Under the deterministic scheduler the lock is uncontended (only the
+// token holder runs simulator code) and doubles as the footprint the
+// model checker records for sleep-set pruning.
+func (m *Machine) Lock(b memsys.BlockID) {
+	if s := m.schedder; s != nil {
+		s.NoteLock(uint32(b))
+	}
+	m.locks[b].Lock()
+}
 
 // Unlock releases block b's lock.
 func (m *Machine) Unlock(b memsys.BlockID) { m.locks[b].Unlock() }
 
 // Barrier returns the machine's global barrier.
 func (m *Machine) Barrier() *Barrier { return m.bar }
+
+// Sched returns the current (or most recent) run's deterministic
+// scheduler, nil when DetSched is off or no run has started.
+func (m *Machine) Sched() *sched.Scheduler { return m.schedder }
 
 // AttachTrace enables event tracing with the given per-node ring capacity.
 func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
@@ -391,6 +440,18 @@ type Node struct {
 // Clock returns the node's current virtual cycle count including handler
 // cycles stolen by other nodes' requests.
 func (n *Node) Clock() int64 { return n.clock + n.stolen.Load() }
+
+// SchedYield is a deterministic-scheduler synchronization point: under
+// DetSched the node offers the token at its current virtual time and does
+// not proceed until the run queue grants it again.  Protocol handlers
+// call it immediately before acquiring a block's home lock, so the order
+// in which contending nodes enter a handler is decided by virtual time,
+// not by the host's mutex arbitration.  No-op when DetSched is off.
+func (n *Node) SchedYield() {
+	if s := n.M.schedder; s != nil {
+		s.Yield(n.ID, n.Clock())
+	}
+}
 
 // Charge advances the node's clock by c cycles (owner goroutine only).
 func (n *Node) Charge(c int64) { n.clock += c }

@@ -5,33 +5,23 @@ import (
 	"testing"
 
 	"lcm/internal/cstar"
-	"lcm/internal/net"
-	"lcm/internal/stats"
 )
 
 // Differential tests for the span fast path: every Table-1 workload runs
 // twice per memory system — once through the span/MRU engine and once with
 // Config.ScalarAccess forcing the per-element accessors — and the two runs
-// must agree on the answers (Verify) and on every deterministic observable:
-// all aggregated node counters and the shared-counter snapshot.
+// must agree on the answers (Verify) and on every observable: simulated
+// cycles, all aggregated node counters, and the shared-counter snapshot.
 //
-// Result.Cycles is asserted only at P=1.  At P>1 the folding of stolen
-// remote-handler cycles at barriers depends on goroutine interleaving, so
-// simulated time is not run-to-run reproducible even for a fixed access
-// path (the counters are); the tempest-level tests assert exact clock
-// equality for the access engine itself.
-//
-// Fault counts under the eagerly coherent Copying system are likewise
-// interleaving-dependent at P>1: a write fault invalidates other nodes'
-// copies *during* the phase, so when two nodes false-share a boundary
-// block the exclusive copy ping-pongs a timing-dependent number of times
-// (each bounce is one extra miss on each side).  LCM never revokes a copy
-// mid-phase — reconciliation happens inside the barrier window and the
-// workloads' coherent regions are read-only while a phase runs — so LCM
-// counters are determined by each node's own access stream and are
-// asserted bit-exactly.  For Copying at P>1 the assertion covers the
-// stream-determined fields (Hits counts every permitted access, plus
-// barriers and copy traffic); the P=1 test below asserts everything.
+// Historically, Cycles was asserted only at P=1 and Copying fault counts
+// at P>1 were compared on a "stream-determined subset": under free-running
+// goroutines, barrier clock folding and mid-phase invalidation order
+// depended on host scheduling.  The deterministic scheduler
+// (internal/sched, on by default in Config) makes the interleaving a pure
+// function of (workload, P, seed); the span and scalar engines funnel
+// through the same fault points with identical charges, so they replay the
+// same schedule and every field — cycles included — must now match
+// bit-exactly at every P.
 
 type diffRow struct {
 	name string
@@ -66,23 +56,10 @@ func diffRows() []diffRow {
 
 var diffSystems = []cstar.System{cstar.Copying, cstar.LCMscc, cstar.LCMmcc}
 
-// streamDetermined zeroes the counter fields whose values depend on how
-// concurrent invalidations interleave with sharers' accesses.  Everything
-// left is fixed by the nodes' own access streams, so it must match between
-// the span and scalar runs under any scheduling.
-func streamDetermined(c stats.NodeCounters) stats.NodeCounters {
-	c.Misses = 0
-	c.RemoteMisses = 0
-	c.LocalFills = 0
-	c.Upgrades = 0
-	c.InvalidationsSent = 0
-	c.InvalidationsRecv = 0
-	c.Net = net.Counters{} // message accounting tracks the fault events above
-	return c
-}
-
 // TestSpanScalarDifferential: span and scalar execution of every workload
-// must produce identical verified answers and identical protocol counts.
+// must produce identical verified answers, identical protocol counts, and
+// identical simulated cycles — at P=8, for every memory system, with no
+// carve-outs.
 func TestSpanScalarDifferential(t *testing.T) {
 	for _, row := range diffRows() {
 		for _, sys := range diffSystems {
@@ -99,12 +76,11 @@ func TestSpanScalarDifferential(t *testing.T) {
 				t.Errorf("%s: scalar run failed: %v", name, scal.Err)
 				continue
 			}
-			spanC, scalC := span.C, scal.C
-			if sys == cstar.Copying {
-				spanC, scalC = streamDetermined(spanC), streamDetermined(scalC)
+			if span.Cycles != scal.Cycles {
+				t.Errorf("%s: cycles diverge: span %d, scalar %d", name, span.Cycles, scal.Cycles)
 			}
-			if spanC != scalC {
-				t.Errorf("%s: node counters diverge:\n span   %+v\n scalar %+v", name, spanC, scalC)
+			if span.C != scal.C {
+				t.Errorf("%s: node counters diverge:\n span   %+v\n scalar %+v", name, span.C, scal.C)
 			}
 			if span.S != scal.S {
 				t.Errorf("%s: shared counters diverge:\n span   %+v\n scalar %+v", name, span.S, scal.S)

@@ -169,11 +169,13 @@ func TestLCMChargeFormulas(t *testing.T) {
 // message stream — protocols decide what to send from access order, not
 // prices — while pricing it differently.
 //
-// Exact cross-run equality is asserted for the LCM systems only:
-// Copying fault counts (and hence their message accounting) are
-// interleaving-dependent at P>1 — see the stream-determined discussion
-// in differential_test.go — so for Copying the assertions drop to the
-// stream-determined subset.
+// The default and explicit-uniform runs replay the identical deterministic
+// schedule, so they are compared bit-exactly for every system.  The fat
+// tree prices messages differently, which shifts virtual times and hence
+// the deterministic schedule itself; LCM's message stream is still fixed
+// by each node's own access stream (no mid-phase revocation), but
+// Copying's fault count legitimately depends on invalidation order, so the
+// fattree-vs-uniform message comparison exempts Copying.
 func TestNetworkModelDifferential(t *testing.T) {
 	spec := StencilSpec{N: 32, Iters: 3}
 	base := Config{P: 8, Verify: true}
@@ -194,13 +196,13 @@ func TestNetworkModelDifferential(t *testing.T) {
 		if rDefault.Net != "uniform" || rUniform.Net != "uniform" || rFattree.Net != "fattree" {
 			t.Fatalf("%v: model names %q %q %q", sys, rDefault.Net, rUniform.Net, rFattree.Net)
 		}
-		cDefault, cUniform := rDefault.C, rUniform.C
-		if sys == cstar.Copying {
-			cDefault, cUniform = streamDetermined(cDefault), streamDetermined(cUniform)
-		}
-		if cDefault != cUniform {
+		if rDefault.C != rUniform.C {
 			t.Errorf("%v: explicit uniform config drifted from default:\n got  %+v\n want %+v",
-				sys, cUniform, cDefault)
+				sys, rUniform.C, rDefault.C)
+		}
+		if rDefault.Cycles != rUniform.Cycles {
+			t.Errorf("%v: explicit uniform cycles drifted from default: %d vs %d",
+				sys, rUniform.Cycles, rDefault.Cycles)
 		}
 		if rDefault.Links != (net.LinkStats{}) {
 			t.Errorf("%v: uniform model reported links: %+v", sys, rDefault.Links)

@@ -64,6 +64,17 @@ type Config struct {
 	// Net selects the interconnect model (nil = uniform, which matches
 	// the historical flat charges bit-exactly; see internal/net).
 	Net *net.Config
+	// SchedSeed selects the deterministic schedule (see internal/sched):
+	// every (workload, P, seed) triple replays bit-identically, including
+	// simulated cycles and copying-mode fault counts at P>1.  Seed 0 is
+	// the canonical (cycle, node) order; other seeds permute same-cycle
+	// ties.
+	SchedSeed uint64
+	// FreeRun disables the deterministic scheduler and lets node
+	// goroutines interleave at the host's whim, as the simulator did
+	// historically.  Order-dependent observables are then not run-to-run
+	// reproducible; only benchmarking wall-clock parallelism wants this.
+	FreeRun bool
 }
 
 func (c Config) norm() Config {
@@ -91,6 +102,8 @@ func (c Config) machine(sys cstar.System) *tempest.Machine {
 	}
 	m.Watchdog = c.Watchdog
 	m.ScalarAccess = c.ScalarAccess
+	m.DetSched = !c.FreeRun
+	m.SchedSeed = c.SchedSeed
 	if c.Net != nil {
 		nw, err := net.New(*c.Net, c.P, *c.CostModel)
 		if err != nil {
