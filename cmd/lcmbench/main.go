@@ -24,7 +24,12 @@
 // fault-injection campaign instead: every workload under every memory
 // system with seeded faults, asserting answers bit-identical to the
 // fault-free runs and recovery counters matching the injected plans; the
-// exit status reports the verdict.
+// exit status reports the verdict.  -recovery runs the crash-recovery
+// matrix: node kills restarting from barrier checkpoints, sustained
+// message loss survived by retransmission, and kill storms past the
+// restart budget forcing degraded-mode re-homing, each cell asserting
+// answer identity against the fault-free oracle, bit-identical replay,
+// and exact recovery accounting.
 package main
 
 import (
@@ -67,6 +72,7 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
 	ablate := flag.Bool("ablate", false, "run only the Section 7 ablations")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos campaign")
+	recovery := flag.Bool("recovery", false, "run only the crash-recovery matrix (checkpointed restarts, retransmission under message loss, degraded-mode re-homing)")
 	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity, interconnect); heavy at scale 1")
 	netModel := flag.String("net", "uniform", "interconnect model: uniform (flat charges, bit-identical to the historical model) or fattree (CM-5-style 4-ary fat tree with link/NI queueing)")
 	linkBW := flag.Int64("linkbw", 0, "fattree link serialization in cycles per byte (0 = default; higher = less bandwidth)")
@@ -126,6 +132,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("chaos campaign passed: all recoveries bit-identical, counters match injected plans")
+		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *recovery {
+		if err := s.RunRecovery(harness.DefaultRecoveryPlans(), []uint64{1, 2}); err != nil {
+			fmt.Fprintf(os.Stderr, "lcmbench: recovery matrix FAILED:\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("recovery matrix passed: all runs survived, answers and replays bit-identical, recovery counters exact")
 		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}

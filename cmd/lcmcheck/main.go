@@ -8,8 +8,13 @@
 // Usage:
 //
 //	lcmcheck [-protocol copying|scc|mcc|all] [-nodes N] [-blocks N]
-//	         [-script NAME] [-max-schedules N] [-nosleep]
+//	         [-script NAME] [-max-schedules N] [-nosleep] [-kill]
 //	         [-replay PATH -protocol SYS -script NAME]
+//
+// -kill injects a recoverable node crash (checkpoint/restart enabled)
+// into every explored run, extending the safety guarantee across crash
+// recovery: restarts perturb the virtual clocks, so the search also
+// covers the interleavings around the crash point.
 //
 // With no flags it sweeps every canned script for every protocol at 2
 // nodes x 2 blocks to exhaustion.  A violation prints the replayable
@@ -31,7 +36,16 @@ import (
 
 	"lcm/internal/check"
 	"lcm/internal/cstar"
+	"lcm/internal/fault"
 )
+
+// killPlan is the canned crash plan behind -kill: node 1 dies at every
+// second protocol fault, twice, and restarts from its barrier checkpoint.
+func killPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed: 0x6b111, KillNode: 1, KillAfter: 2, KillCount: 2, KillRecover: true,
+	}
+}
 
 func usage(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "lcmcheck: "+format+"\n", args...)
@@ -60,6 +74,7 @@ func main() {
 	scriptName := flag.String("script", "", "check only this canned script (empty = all; see internal/check Scripts)")
 	maxSchedules := flag.Int("max-schedules", 0, "bound the interleavings explored per configuration (0 = exhaust the tree)")
 	noSleep := flag.Bool("nosleep", false, "disable the sleep-set reduction (slower, fully exhaustive)")
+	kill := flag.Bool("kill", false, "inject a recoverable node kill (node 1, every 2nd protocol fault, twice) with checkpoint/restart enabled, model-checking crash recovery across interleavings")
 	replay := flag.String("replay", "", "replay one decision path (comma-separated indices) instead of exploring")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -92,6 +107,9 @@ func main() {
 			usage("-replay needs a single -protocol and -script")
 		}
 		cfg := check.Config{System: syss[0], Nodes: *nodes, Blocks: *blocks, Script: scripts[0]}
+		if *kill {
+			cfg.Faults, cfg.Recovery = killPlan(), true
+		}
 		vio, dump, err := check.Replay(cfg, path)
 		if err != nil {
 			usage("%v", err)
@@ -113,6 +131,9 @@ func main() {
 				System: sys, Nodes: *nodes, Blocks: *blocks, Script: s,
 				MaxSchedules: *maxSchedules, NoSleep: *noSleep,
 			}
+			if *kill {
+				cfg.Faults, cfg.Recovery = killPlan(), true
+			}
 			res, err := check.Explore(cfg)
 			if err != nil {
 				usage("%v", err)
@@ -124,9 +145,13 @@ func main() {
 			fmt.Printf("%-8s %-10s %dn x %db: %6d schedules, %6d pruned, %s\n",
 				sys, s.Name, *nodes, *blocks, res.Schedules, res.Pruned, status)
 			if res.Violation != nil {
-				fmt.Printf("VIOLATION %v/%s: %v\n  replay: lcmcheck -protocol %s -script %s -nodes %d -blocks %d -replay %q\n%s\n",
+				killFlag := ""
+				if *kill {
+					killFlag = " -kill"
+				}
+				fmt.Printf("VIOLATION %v/%s: %v\n  replay: lcmcheck -protocol %s -script %s -nodes %d -blocks %d%s -replay %q\n%s\n",
 					sys, s.Name, res.Violation.Err, *protocol, s.Name, *nodes, *blocks,
-					pathString(res.Violation.Path), res.Violation.Trace)
+					killFlag, pathString(res.Violation.Path), res.Violation.Trace)
 				failed = true
 			}
 		}

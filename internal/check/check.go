@@ -43,6 +43,7 @@ import (
 	"lcm/internal/core"
 	"lcm/internal/cost"
 	"lcm/internal/cstar"
+	"lcm/internal/fault"
 	"lcm/internal/memsys"
 	"lcm/internal/sched"
 	"lcm/internal/stache"
@@ -90,6 +91,15 @@ type Config struct {
 	MaxSchedules int
 	// NoSleep disables the sleep-set reduction.
 	NoSleep bool
+	// Faults, when non-nil, attaches a deterministic fault injector to
+	// every explored run.  With a KillRecover plan and Recovery set, the
+	// search covers kill/restart across interleavings: the kill node's
+	// recovery charge perturbs the virtual clocks, so schedules around
+	// the crash point are explored, and every safety property must still
+	// hold through checkpointed restarts.
+	Faults *fault.Plan
+	// Recovery enables checkpoint/restart (tempest.Machine.Recovery).
+	Recovery bool
 	// NewProtocol, when non-nil, overrides the protocol construction
 	// (tests inject violating doubles here).  The protocol-specific
 	// invariant audits and flush/commit pairing only run for the real
@@ -219,6 +229,10 @@ func runOne(cfg Config, o *oracle, path []int) runOut {
 	m := tempest.New(cfg.Nodes, 32, cost.Default())
 	m.SetProtocol(newProto())
 	tb := m.AttachTrace(4096)
+	if cfg.Faults != nil {
+		m.AttachFaults(*cfg.Faults)
+	}
+	m.Recovery = cfg.Recovery
 	v := cstar.NewVectorF32(m, "v", cfg.Blocks*slotsPerBlock, cstar.DataPolicy(cfg.System), memsys.Blocked)
 	m.Freeze()
 	m.DetSched = true

@@ -628,6 +628,27 @@ func (p *LCM) commitHome(n *tempest.Node, ph uint32) {
 	p.commitLists(n, n.ID, ph)
 }
 
+// Rehome implements tempest.Rehomer for degraded-mode recovery: blocks
+// homed at `from` have just migrated to `to` (memsys.Rehome), so the
+// pending entries of from's dirty list — registered before the migration
+// but not yet committed — must move to the adopter's list, or the next
+// reconciliation would never commit them (commitHome drains each node's
+// own list, and the dead node's is now authoritative for nothing).
+// Called from the dying node's goroutine at a deterministic point where
+// no node is inside the reconciliation window.
+func (p *LCM) Rehome(from, to int) {
+	p.dirtyMu[from].Lock()
+	list := p.dirty[from]
+	p.dirty[from] = list[:0]
+	p.dirtyMu[from].Unlock()
+	if len(list) == 0 {
+		return
+	}
+	p.dirtyMu[to].Lock()
+	p.dirty[to] = append(p.dirty[to], list...)
+	p.dirtyMu[to].Unlock()
+}
+
 // commitLists commits the dirty list of the given home, charging the work
 // to n's clock.
 func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {

@@ -81,6 +81,26 @@ type Model struct {
 	// workload charges a small number of these per invocation so that
 	// computation is not free relative to communication.
 	Compute int64
+
+	// The four fields below price crash recovery.  They are charged only
+	// when the machine runs with Recovery enabled, so fault-free runs
+	// remain bit-identical to historical results.
+
+	// CheckpointPerLine is charged per installed line snapshotted into a
+	// node's barrier-epoch checkpoint (a local memory copy).
+	CheckpointPerLine int64
+
+	// RestartBase is the fixed charge of one checkpoint restart: fault
+	// detection, reinitialization, rejoining the computation.
+	RestartBase int64
+
+	// RestorePerLine is charged per line restored from the checkpoint at
+	// restart (a local memory copy back).
+	RestorePerLine int64
+
+	// ReplayPerOp is charged per memory operation deterministically
+	// replayed between the restored checkpoint and the crash point.
+	ReplayPerOp int64
 }
 
 // Default returns the cost model used for all paper-reproduction
@@ -102,6 +122,10 @@ func Default() Model {
 		Barrier:           4000,
 		CopyPerWord:       20,
 		Compute:           40,
+		CheckpointPerLine: 10,
+		RestartBase:       20000,
+		RestorePerLine:    40,
+		ReplayPerOp:       2,
 	}
 }
 
@@ -112,7 +136,8 @@ func Uniform(c int64) Model {
 		CacheHit: c, LocalFill: c, RemoteRoundTrip: c, ThirdHop: c,
 		PerByte: c, HomeOccupancy: c, FlushOccupancy: c, InvalidatePerCopy: c, Upgrade: c, MarkLocal: c,
 		FlushPerBlock: c, MergePerWord: c, Barrier: c, CopyPerWord: c,
-		Compute: c,
+		Compute:           c,
+		CheckpointPerLine: c, RestartBase: c, RestorePerLine: c, ReplayPerOp: c,
 	}
 }
 

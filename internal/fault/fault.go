@@ -70,11 +70,34 @@ type Plan struct {
 	BackoffBase int64
 	BackoffCap  int
 
-	// KillNode / KillAfter inject an unrecoverable node failure: node
-	// KillNode dies on its KillAfter-th access fault.  Active only when
-	// KillAfter > 0.
+	// KillNode / KillAfter inject a node failure: node KillNode dies on
+	// its KillAfter-th access fault.  Active only when KillAfter > 0.
+	// Without KillRecover the failure is unrecoverable (machine-wide
+	// abort); with it, and with the machine's Recovery mode on, each kill
+	// becomes a deterministic restart from the node's last barrier-epoch
+	// checkpoint.
 	KillNode  int
 	KillAfter int
+
+	// KillRecover turns injected kills into checkpoint restarts (see
+	// above).  Ignored unless the machine runs with Recovery enabled.
+	KillRecover bool
+
+	// KillCount is the number of kills injected (default 1 when a kill
+	// trigger is configured): with KillAfter the node dies at every
+	// multiple of KillAfter access faults until KillCount deaths.
+	KillCount int
+
+	// KillAtBarrier, when > 0, additionally kills KillNode at its
+	// KillAtBarrier-th barrier arrival (before the barrier resolves), so
+	// crash-at-the-epoch-boundary is reachable deterministically.
+	KillAtBarrier int
+
+	// RestartBudget bounds checkpoint restarts per node.  A node killed
+	// again past the budget is declared dead for homing purposes: its
+	// home-region responsibility migrates to a live peer (degraded mode)
+	// and it continues as a pure compute client.  Default 4.
+	RestartBudget int
 }
 
 // withDefaults fills the defaulted fields.
@@ -88,6 +111,12 @@ func (p Plan) withDefaults() Plan {
 	if p.BackoffCap <= 0 {
 		p.BackoffCap = 6
 	}
+	if p.KillCount <= 0 && (p.KillAfter > 0 || p.KillAtBarrier > 0) {
+		p.KillCount = 1
+	}
+	if p.RestartBudget <= 0 {
+		p.RestartBudget = 4
+	}
 	return p
 }
 
@@ -97,6 +126,12 @@ func (p Plan) String() string {
 		p.Seed, p.CorruptPerMil, p.TransientPerMil, p.SpikePerMil, p.StallPerMil)
 	if p.KillAfter > 0 {
 		s += fmt.Sprintf(" kill=n%d@%d", p.KillNode, p.KillAfter)
+	}
+	if p.KillAtBarrier > 0 {
+		s += fmt.Sprintf(" kill=n%d@bar%d", p.KillNode, p.KillAtBarrier)
+	}
+	if p.KillRecover {
+		s += fmt.Sprintf(" recover(x%d,budget=%d)", p.KillCount, p.RestartBudget)
 	}
 	return s
 }
@@ -112,7 +147,8 @@ type Tally struct {
 	Spikes int64
 	// Stalls is the number of node stalls.
 	Stalls int64
-	// Kills is the number of unrecoverable node failures (0 or 1).
+	// Kills is the number of injected node failures (at most KillCount;
+	// unrecoverable unless the plan sets KillRecover).
 	Kills int64
 }
 
@@ -140,9 +176,11 @@ func (t Tally) String() string {
 // touched only by the owning node's goroutine; tallies are read after the
 // machine quiesces.
 type nodeStream struct {
-	rng    uint64
-	faults int
-	tally  Tally
+	rng      uint64
+	faults   int
+	barriers int
+	kills    int
+	tally    Tally
 }
 
 // Injector is the per-machine fault-injection state.  Decision methods
@@ -254,19 +292,41 @@ func (in *Injector) Stall(node int) (int64, bool) {
 }
 
 // AccessFault records one access fault on node and reports whether the
-// plan's unrecoverable kill triggers now.
+// plan's kill triggers now.  With KillCount > 1 the node dies at every
+// multiple of KillAfter access faults until KillCount kills are injected.
 func (in *Injector) AccessFault(node int) bool {
 	if in.plan.KillAfter <= 0 || node != in.plan.KillNode {
 		return false
 	}
 	s := &in.nodes[node]
 	s.faults++
-	if s.faults != in.plan.KillAfter {
+	if s.faults%in.plan.KillAfter != 0 || s.kills >= in.plan.KillCount {
 		return false
 	}
+	s.kills++
 	s.tally.Kills++
 	return true
 }
+
+// BarrierArrival records one barrier arrival of node and reports whether
+// the plan's barrier kill triggers now.
+func (in *Injector) BarrierArrival(node int) bool {
+	if in.plan.KillAtBarrier <= 0 || node != in.plan.KillNode {
+		return false
+	}
+	s := &in.nodes[node]
+	s.barriers++
+	if s.barriers != in.plan.KillAtBarrier || s.kills >= in.plan.KillCount {
+		return false
+	}
+	s.kills++
+	s.tally.Kills++
+	return true
+}
+
+// RestartBudget returns the per-node checkpoint-restart budget; one more
+// kill past it re-homes the node's home regions (degraded mode).
+func (in *Injector) RestartBudget() int { return in.plan.RestartBudget }
 
 // RetryBudget returns the bounded retry budget per operation.
 func (in *Injector) RetryBudget() int { return in.plan.RetryBudget }

@@ -38,6 +38,22 @@ type BenchRecord struct {
 	// observable and are held to the same identity check.
 	NetQueueCycles int64 `json:"net_queue_cycles,omitempty"`
 	MaxLinkBusy    int64 `json:"max_link_busy,omitempty"`
+	// Fault-injection and crash-recovery observables.  All are zero for
+	// fault-free runs and omitted from their JSON, so historical BENCH
+	// files and benchdiff comparisons are unaffected.
+	FaultCorruptions int64 `json:"fault_corruptions,omitempty"`
+	FaultTimeouts    int64 `json:"fault_timeouts,omitempty"`
+	FaultSpikes      int64 `json:"fault_spikes,omitempty"`
+	FaultStalls      int64 `json:"fault_stalls,omitempty"`
+	FaultKills       int64 `json:"fault_kills,omitempty"`
+	Retransmits      int64 `json:"retransmits,omitempty"`
+	DupDelivered     int64 `json:"dup_delivered,omitempty"`
+	ReorderHeld      int64 `json:"reorder_held,omitempty"`
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	Restarts         int64 `json:"restarts,omitempty"`
+	RehomedRegions   int64 `json:"rehomed_regions,omitempty"`
+	RehomedBlocks    int64 `json:"rehomed_blocks,omitempty"`
+	RecoveryCycles   int64 `json:"recovery_cycles,omitempty"`
 }
 
 // BenchFile is the on-disk BENCH_*.json shape.
@@ -100,6 +116,20 @@ func benchFile(cfg workloads.Config, scale int, rows []map[cstar.System]workload
 				NetBytes:       r.C.Net.Bytes,
 				NetQueueCycles: r.C.Net.QueueCycles,
 				MaxLinkBusy:    r.Links.MaxBusy,
+
+				FaultCorruptions: r.Faults.Corruptions,
+				FaultTimeouts:    r.Faults.Timeouts,
+				FaultSpikes:      r.Faults.Spikes,
+				FaultStalls:      r.Faults.Stalls,
+				FaultKills:       r.Faults.Kills,
+				Retransmits:      r.C.Net.Retransmits,
+				DupDelivered:     r.C.Net.DupDelivered,
+				ReorderHeld:      r.C.Net.ReorderHeld,
+				Checkpoints:      r.C.Checkpoints,
+				Restarts:         r.C.Restarts,
+				RehomedRegions:   r.C.Rehomings,
+				RehomedBlocks:    r.C.RehomedBlocks,
+				RecoveryCycles:   r.C.RecoveryCycles,
 			})
 		}
 	}

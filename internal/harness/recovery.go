@@ -1,0 +1,209 @@
+// Recovery matrix: every workload under every memory system runs under
+// crash and delivery-fault plans with recovery enabled, and survival must
+// be provable — the run completes, the answer is bit-identical to the
+// fault-free oracle, the run replays bit-identically under the same
+// (seed, faultplan), and the recovery counters account exactly for every
+// injected fault: one restart per kill, one retransmission per drop, one
+// discard per duplicate, one re-homing once the restart budget is spent.
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/fault"
+	"lcm/internal/net"
+	"lcm/internal/workloads"
+)
+
+// RecoveryPlan is one cell of the crash-recovery matrix: an injector
+// plan (kills), a delivery-fault config (drop/duplicate/reorder), or
+// both.
+type RecoveryPlan struct {
+	Name string
+	// Plan, when non-nil, is the fault-injection campaign (kill
+	// triggers use KillRecover so the machine restarts instead of
+	// aborting).
+	Plan *fault.Plan
+	// Loss, when non-nil, makes delivery unreliable.
+	Loss *net.LossConfig
+}
+
+// DefaultRecoveryPlans returns the standard matrix: crash at the epoch
+// boundary, crash mid-epoch, repeated crashes past the restart budget
+// (forcing degraded-mode re-homing), sustained 1% message drop, and a
+// duplicate/reorder storm.
+func DefaultRecoveryPlans() []RecoveryPlan {
+	return []RecoveryPlan{
+		{Name: "kill-at-barrier", Plan: &fault.Plan{
+			Seed: 0x1c3a05_0101, KillNode: 1, KillAtBarrier: 2, KillRecover: true,
+		}},
+		{Name: "kill-mid-epoch", Plan: &fault.Plan{
+			Seed: 0x1c3a05_0102, KillNode: 1, KillAfter: 5, KillRecover: true,
+		}},
+		{Name: "kill-rehome", Plan: &fault.Plan{
+			Seed: 0x1c3a05_0103, KillNode: 1, KillAfter: 3, KillCount: 4,
+			KillRecover: true, RestartBudget: 2,
+		}},
+		{Name: "drop-1pct", Loss: &net.LossConfig{
+			Seed: 0x1c3a05_0104, DropPerMil: 10,
+		}},
+		{Name: "dup-storm", Loss: &net.LossConfig{
+			Seed: 0x1c3a05_0105, DupPerMil: 120, ReorderPerMil: 40,
+		}},
+	}
+}
+
+// RunRecovery runs the recovery matrix — every workload x memory system
+// x plan x seed at the suite's P — asserting answer identity against the
+// fault-free oracle, exact recovery accounting, and (for the first seed
+// of each cell) bit-identical replay.  It prints one line per cell and
+// returns the joined failures.
+func (s *Suite) RunRecovery(plans []RecoveryPlan, seeds []uint64) error {
+	cfg := s.Cfg
+	cfg.Verify = true // answer identity against the sequential oracle
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	var failures []error
+	fmt.Fprintf(s.Out, "recovery matrix (P=%d, scale 1/%d, %d plans, %d seeds)...\n",
+		cfg.P, s.Scale, len(plans), len(seeds))
+	for _, c := range s.chaosCases() {
+		for _, sys := range systems {
+			base := c.run(sys, cfg)
+			if base.Err != nil {
+				failures = append(failures, fmt.Errorf("%s/%v: fault-free baseline failed: %w", c.name, sys, base.Err))
+				continue
+			}
+			for _, p := range plans {
+				if p.Plan != nil && p.Plan.KillNode >= cfg.P {
+					fmt.Fprintf(s.Out, "  %-12s %-8v %-15s skip (kill target beyond P=%d)\n", c.name, sys, p.Name, cfg.P)
+					continue
+				}
+				for i, seed := range seeds {
+					fc := recoveryConfig(cfg, p, seed)
+					res := c.run(sys, fc)
+					err := checkRecovery(base, res, p, cfg.P)
+					if err == nil && i == 0 {
+						// Replay identity: the same (workload, P, seed,
+						// faultplan) must reproduce every observable bit
+						// for bit.
+						replay := c.run(sys, fc)
+						err = checkReplay(res, replay)
+					}
+					status := "ok"
+					if err != nil {
+						status = "FAIL: " + err.Error()
+						failures = append(failures, fmt.Errorf("%s/%v/%s/seed%d: %w", c.name, sys, p.Name, seed, err))
+					}
+					fmt.Fprintf(s.Out, "  %-12s %-8v %-15s seed=%d kills=%d restarts=%d rehomed=%d retrans=%d dups=%d %s\n",
+						c.name, sys, p.Name, seed, res.Faults.Kills, res.C.Restarts,
+						res.C.RehomedBlocks, res.C.Net.Retransmits, res.C.Net.DupDelivered, status)
+				}
+			}
+		}
+	}
+	return errors.Join(failures...)
+}
+
+// recoveryConfig builds one cell's machine configuration: recovery on,
+// the plan's injector and loss model attached with their seeds shifted
+// by the matrix seed.
+func recoveryConfig(cfg workloads.Config, p RecoveryPlan, seed uint64) workloads.Config {
+	cfg.Recover = true
+	if p.Plan != nil {
+		plan := *p.Plan
+		plan.Seed += seed * 0x9e3779b97f4a7c15
+		cfg.Faults = &plan
+	}
+	if p.Loss != nil {
+		loss := *p.Loss
+		loss.Seed += seed * 0x9e3779b97f4a7c15
+		cfg.Loss = &loss
+	}
+	return cfg
+}
+
+// checkRecovery asserts one recovery run against its fault-free
+// baseline: the run completed with the oracle answer, the access stream
+// is untouched by recovery, and every injected fault is accounted for
+// exactly.
+func checkRecovery(base, res workloads.Result, p RecoveryPlan, P int) error {
+	if res.Err != nil {
+		return fmt.Errorf("run failed under recovery plan: %w", res.Err)
+	}
+	if P > 1 && res.Faults.Total() == 0 && res.Loss.Total() == 0 {
+		return fmt.Errorf("plan injected nothing; matrix cell proves nothing")
+	}
+	checks := []struct {
+		name      string
+		want, got int64
+	}{
+		// Recovery must be invisible to the protocol's data movement:
+		// the access stream matches the fault-free oracle run event for
+		// event (answer identity itself is checked in-run by Verify).
+		{"Hits", base.C.Hits, res.C.Hits},
+		{"Misses", base.C.Misses, res.C.Misses},
+		{"Flushes", base.C.Flushes, res.C.Flushes},
+		{"WordsFlushed", base.C.WordsFlushed, res.C.WordsFlushed},
+		{"Marks", base.C.Marks, res.C.Marks},
+		{"Barriers", base.C.Barriers, res.C.Barriers},
+		// Every node checkpoints at every barrier epoch.
+		{"Checkpoints==Barriers", res.C.Barriers, res.C.Checkpoints},
+		// One restart per injected kill, one retransmission per dropped
+		// message, one discard per duplicate, one hold per reorder.
+		{"Restarts==Kills", res.Faults.Kills, res.C.Restarts},
+		{"Retransmits==Dropped", res.Loss.Dropped, res.C.Net.Retransmits},
+		{"DupDelivered==Duplicated", res.Loss.Duplicated, res.C.Net.DupDelivered},
+		{"ReorderHeld==Reordered", res.Loss.Reordered, res.C.Net.ReorderHeld},
+	}
+	for _, c := range checks {
+		if c.want != c.got {
+			return fmt.Errorf("%s: want %d, got %d", c.name, c.want, c.got)
+		}
+	}
+	// Degraded mode: killed past the restart budget, the node re-homes
+	// exactly once; within budget, never.
+	if p.Plan != nil {
+		budget := int64(p.Plan.RestartBudget)
+		if budget <= 0 {
+			budget = 4 // fault.Plan default
+		}
+		wantRehomings := int64(0)
+		if res.Faults.Kills > budget && P > 1 {
+			wantRehomings = 1
+		}
+		if res.C.Rehomings != wantRehomings {
+			return fmt.Errorf("Rehomings: want %d (kills=%d budget=%d), got %d",
+				wantRehomings, res.Faults.Kills, budget, res.C.Rehomings)
+		}
+		if wantRehomings == 1 && res.C.RehomedBlocks == 0 {
+			return fmt.Errorf("re-homed with zero blocks migrated")
+		}
+	}
+	return nil
+}
+
+// checkReplay asserts two runs of the same (workload, P, seed,
+// faultplan) cell are bit-identical in every observable.
+func checkReplay(a, b workloads.Result) error {
+	if b.Err != nil {
+		return fmt.Errorf("replay failed: %w", b.Err)
+	}
+	if a.Cycles != b.Cycles {
+		return fmt.Errorf("replay diverged: cycles %d vs %d", a.Cycles, b.Cycles)
+	}
+	if a.C != b.C {
+		return fmt.Errorf("replay diverged: counters %+v vs %+v", a.C, b.C)
+	}
+	if a.S != b.S {
+		return fmt.Errorf("replay diverged: shared counters %+v vs %+v", a.S, b.S)
+	}
+	if a.Faults != b.Faults {
+		return fmt.Errorf("replay diverged: fault tally %v vs %v", a.Faults, b.Faults)
+	}
+	if a.Loss != b.Loss {
+		return fmt.Errorf("replay diverged: loss tally %v vs %v", a.Loss, b.Loss)
+	}
+	return nil
+}

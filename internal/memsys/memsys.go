@@ -159,11 +159,22 @@ type AddressSpace struct {
 
 	// home[b] is the home node of block b, built at Freeze.
 	home []uint8
+	// rehomed, when non-nil, overrides home for degraded-mode recovery:
+	// rehomed[b] == rehomeNone means "use home[b]", anything else is the
+	// migrated home.  Allocated lazily by Rehome so the fault-free HomeOf
+	// fast path costs one nil check.  Mutated only while the machine is
+	// quiescent at a deterministic point (a single running node under the
+	// deterministic scheduler).
+	rehomed []uint8
 	// regionOf[b] is the index into regions of block b's region.
 	regionOf []uint16
 	// data is the home image, indexed by Addr.
 	data []byte
 }
+
+// rehomeNone marks a block whose home has not migrated.  Node IDs fit in
+// [0,254] (NewAddressSpace caps P at 255), so 0xff is free.
+const rehomeNone = 0xff
 
 // NewAddressSpace creates an address space for p nodes with the given
 // block size (a power of two, at least 8 bytes).
@@ -283,8 +294,54 @@ func (as *AddressSpace) BlockBase(b BlockID) Addr {
 	return Addr(uint64(b) << as.blockShift)
 }
 
-// HomeOf returns the home node of block b.  Valid after Freeze.
-func (as *AddressSpace) HomeOf(b BlockID) int { return int(as.home[b]) }
+// HomeOf returns the effective home node of block b — the Freeze-time
+// home unless degraded-mode recovery migrated it.  Valid after Freeze.
+func (as *AddressSpace) HomeOf(b BlockID) int {
+	if as.rehomed != nil {
+		if h := as.rehomed[b]; h != rehomeNone {
+			return int(h)
+		}
+	}
+	return int(as.home[b])
+}
+
+// BaseHomeOf returns the Freeze-time home of block b, ignoring any
+// degraded-mode migration.
+func (as *AddressSpace) BaseHomeOf(b BlockID) int { return int(as.home[b]) }
+
+// Rehome migrates every block whose effective home is `from` to node
+// `to`, returning the number of blocks moved.  It implements degraded-
+// mode recovery: a node declared dead hands its home responsibility —
+// directory authority and the charging destination for fetches, flushes
+// and merges — to a live peer.  The home image itself needs no copy in
+// the simulator (data is a global array indexed by block), which models
+// the recovering peer adopting the dead node's memory pages.
+//
+// Call only at a deterministic quiescent point: under the deterministic
+// scheduler with the calling node holding the token, so no reader can
+// observe a half-migrated map.
+func (as *AddressSpace) Rehome(from, to int) int64 {
+	if !as.frozen {
+		panic("memsys: Rehome before Freeze")
+	}
+	if from == to || from < 0 || from >= as.P || to < 0 || to >= as.P {
+		panic(fmt.Sprintf("memsys: Rehome(%d, %d) invalid for P=%d", from, to, as.P))
+	}
+	if as.rehomed == nil {
+		as.rehomed = make([]uint8, len(as.home))
+		for i := range as.rehomed {
+			as.rehomed[i] = rehomeNone
+		}
+	}
+	var moved int64
+	for b := range as.home {
+		if as.HomeOf(BlockID(b)) == from {
+			as.rehomed[b] = uint8(to)
+			moved++
+		}
+	}
+	return moved
+}
 
 // RegionOfBlock returns the region owning block b.  Valid after Freeze.
 func (as *AddressSpace) RegionOfBlock(b BlockID) *Region {

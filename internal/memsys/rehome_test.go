@@ -1,0 +1,100 @@
+package memsys
+
+import "testing"
+
+// rehomeSpace builds a frozen 4-node space with one interleaved region so
+// every node homes some blocks.
+func rehomeSpace(t *testing.T) (*AddressSpace, *Region) {
+	t.Helper()
+	as := NewAddressSpace(4, 32)
+	r := as.Alloc("data", 32*32, KindCoherent, Interleaved)
+	as.Freeze()
+	return as, r
+}
+
+// TestRehomeMigratesEveryBlock: after Rehome(from, to), no block's
+// effective home is `from`, the migrated blocks answer `to`, other homes
+// are untouched, and BaseHomeOf still reports the Freeze-time layout.
+func TestRehomeMigratesEveryBlock(t *testing.T) {
+	as, r := rehomeSpace(t)
+	before := make([]int, r.NumBlocks())
+	var expect int64
+	for i := range before {
+		before[i] = as.HomeOf(r.FirstBlock() + BlockID(i))
+		if before[i] == 2 {
+			expect++
+		}
+	}
+	if expect == 0 {
+		t.Fatal("interleaved layout homes nothing at node 2; test proves nothing")
+	}
+	if moved := as.Rehome(2, 0); moved != expect {
+		t.Fatalf("Rehome moved %d blocks, want %d", moved, expect)
+	}
+	for i := range before {
+		b := r.FirstBlock() + BlockID(i)
+		want := before[i]
+		if want == 2 {
+			want = 0
+		}
+		if got := as.HomeOf(b); got != want {
+			t.Errorf("block %d: HomeOf = %d, want %d", b, got, want)
+		}
+		if got := as.BaseHomeOf(b); got != before[i] {
+			t.Errorf("block %d: BaseHomeOf = %d, want Freeze-time home %d", b, got, before[i])
+		}
+	}
+}
+
+// TestRehomeChains: a second migration moves the adopter's entire
+// responsibility, including blocks it adopted earlier (effective home,
+// not base home, decides).
+func TestRehomeChains(t *testing.T) {
+	as, r := rehomeSpace(t)
+	as.Rehome(2, 3)
+	as.Rehome(3, 1)
+	for i := uint32(0); i < r.NumBlocks(); i++ {
+		b := r.FirstBlock() + BlockID(i)
+		if h := as.HomeOf(b); h == 2 || h == 3 {
+			t.Errorf("block %d still homed at dead node %d after chained rehoming", b, h)
+		}
+		if base := as.BaseHomeOf(b); base == 2 || base == 3 {
+			if got := as.HomeOf(b); got != 1 {
+				t.Errorf("block %d (base home %d): HomeOf = %d, want final adopter 1", b, base, got)
+			}
+		}
+	}
+}
+
+// TestRehomeValidation: migration is only legal on a frozen space between
+// distinct valid nodes.
+func TestRehomeValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	unfrozen := NewAddressSpace(4, 32)
+	unfrozen.Alloc("data", 64, KindCoherent, Interleaved)
+	mustPanic("Rehome before Freeze", func() { unfrozen.Rehome(1, 0) })
+
+	as, _ := rehomeSpace(t)
+	mustPanic("Rehome(1,1)", func() { as.Rehome(1, 1) })
+	mustPanic("Rehome(-1,0)", func() { as.Rehome(-1, 0) })
+	mustPanic("Rehome(0,4)", func() { as.Rehome(0, 4) })
+}
+
+// TestRehomeUntouchedSpaceCostsNothing: before any migration the lazy
+// indirection is absent and HomeOf answers from the base map alone.
+func TestRehomeUntouchedSpaceCostsNothing(t *testing.T) {
+	as, r := rehomeSpace(t)
+	for i := uint32(0); i < r.NumBlocks(); i++ {
+		b := r.FirstBlock() + BlockID(i)
+		if as.HomeOf(b) != as.BaseHomeOf(b) {
+			t.Fatalf("block %d: effective and base home differ before any Rehome", b)
+		}
+	}
+}

@@ -78,6 +78,19 @@ type Counters struct {
 	// waiting for busy channels or network interfaces (always zero
 	// under the uniform model).
 	QueueCycles int64
+	// Retransmits counts messages this node re-sent after a delivery
+	// fault dropped them (lossy runs only; see Loss and the tempest
+	// retransmission layer).
+	Retransmits int64
+	// RetransCycles counts the virtual cycles lost to those drops: the
+	// timeout window plus backoff per retransmission.
+	RetransCycles int64
+	// DupDelivered counts duplicate copies the receiver's sequence
+	// numbers discarded.
+	DupDelivered int64
+	// ReorderHeld counts messages held for resequencing at the receiver
+	// because they overtook an earlier one.
+	ReorderHeld int64
 }
 
 // Add accumulates o into c.
@@ -87,6 +100,10 @@ func (c *Counters) Add(o *Counters) {
 	}
 	c.Bytes += o.Bytes
 	c.QueueCycles += o.QueueCycles
+	c.Retransmits += o.Retransmits
+	c.RetransCycles += o.RetransCycles
+	c.DupDelivered += o.DupDelivered
+	c.ReorderHeld += o.ReorderHeld
 }
 
 // TotalMsgs returns the message count summed over kinds.
@@ -140,6 +157,15 @@ type Network interface {
 	Barrier(node int, c *Counters)
 	// LinkStats reports occupancy after the machine quiesces.
 	LinkStats() LinkStats
+	// SetLoss attaches a seeded delivery-fault model (nil detaches);
+	// with none attached every message is delivered.
+	SetLoss(l *Loss)
+	// Deliver classifies the fate of src's next injected message under
+	// the attached loss model.  Pricing methods never consult it
+	// themselves — the retransmission layer in internal/tempest draws
+	// the fate first and then prices the consequences through the
+	// model.
+	Deliver(src, dst int) Delivery
 }
 
 // Config selects and parameterizes a network model.  The zero value

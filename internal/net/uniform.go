@@ -8,6 +8,7 @@ import "lcm/internal/cost"
 // default simulator configuration is bit-identical — in counters and in
 // virtual cycles — to the pre-net golden results.
 type Uniform struct {
+	lossPort
 	c      cost.Model
 	header int64
 }

@@ -74,6 +74,27 @@ type NodeCounters struct {
 	Stalls      int64
 	StallCycles int64
 
+	// The fields below are the crash-recovery record; all stay zero
+	// unless the machine runs with Recovery enabled.
+
+	// Checkpoints counts barrier-epoch checkpoints this node captured.
+	Checkpoints int64
+	// Restarts counts checkpoint restarts after injected kills.
+	Restarts int64
+	// RestoredLines counts lines restored across those restarts.
+	RestoredLines int64
+	// ReplayedOps counts memory operations deterministically replayed
+	// between the restored checkpoint and the crash point.
+	ReplayedOps int64
+	// RecoveryCycles counts virtual cycles charged to checkpoint
+	// restarts (restore, replay, rejoin).
+	RecoveryCycles int64
+	// Rehomings counts degraded-mode migrations of this node's home
+	// responsibility to a live peer.
+	Rehomings int64
+	// RehomedBlocks counts blocks whose home moved in those migrations.
+	RehomedBlocks int64
+
 	// Net is the interconnect accounting record: messages injected by
 	// kind, bytes, and cycles spent queueing for busy channels.
 	Net net.Counters
@@ -101,6 +122,13 @@ func (c *NodeCounters) Add(o *NodeCounters) {
 	c.OccupancySpikes += o.OccupancySpikes
 	c.Stalls += o.Stalls
 	c.StallCycles += o.StallCycles
+	c.Checkpoints += o.Checkpoints
+	c.Restarts += o.Restarts
+	c.RestoredLines += o.RestoredLines
+	c.ReplayedOps += o.ReplayedOps
+	c.RecoveryCycles += o.RecoveryCycles
+	c.Rehomings += o.Rehomings
+	c.RehomedBlocks += o.RehomedBlocks
 	c.Net.Add(&o.Net)
 }
 

@@ -1,0 +1,108 @@
+package tempest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lcm/internal/fault"
+)
+
+// TestRunErrorUnwrapChain pins the error-wrapping contract callers branch
+// on: a RunError unwraps to its first primary NodeError, which unwraps to
+// the per-node cause, so errors.Is reaches the fault sentinels and
+// errors.As recovers every typed layer without manual traversal.
+func TestRunErrorUnwrapChain(t *testing.T) {
+	kill := &fault.KillError{Node: 1, After: 3}
+	exhaust := &fault.RetryExhaustedError{Node: 2, Op: "re-fetch", Block: 7, Attempts: 9}
+	cases := []struct {
+		name  string
+		err   error
+		is    error
+		node  int
+		check func(t *testing.T, err error)
+	}{
+		{
+			name: "kill",
+			err: &RunError{Nodes: []*NodeError{
+				{Node: 1, Err: kill},
+				{Node: 0, Err: errors.New("barrier aborted"), Collateral: true},
+			}},
+			is:   fault.ErrKilled,
+			node: 1,
+			check: func(t *testing.T, err error) {
+				var ke *fault.KillError
+				if !errors.As(err, &ke) || ke.Node != 1 || ke.After != 3 {
+					t.Errorf("KillError not recovered: %+v", ke)
+				}
+			},
+		},
+		{
+			name: "retry exhausted",
+			err: &RunError{Nodes: []*NodeError{
+				{Node: 2, Err: fmt.Errorf("access failed: %w", exhaust)},
+			}},
+			is:   fault.ErrRetryExhausted,
+			node: 2,
+			check: func(t *testing.T, err error) {
+				var re *fault.RetryExhaustedError
+				if !errors.As(err, &re) || re.Block != 7 || re.Attempts != 9 {
+					t.Errorf("RetryExhaustedError not recovered: %+v", re)
+				}
+			},
+		},
+		{
+			name: "collateral first in slice",
+			err: &RunError{Nodes: []*NodeError{
+				{Node: 0, Err: errors.New("barrier aborted"), Collateral: true},
+				{Node: 3, Err: kill},
+			}},
+			is:   fault.ErrKilled,
+			node: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, tc.is) {
+				t.Errorf("errors.Is(%v, %v) = false", tc.err, tc.is)
+			}
+			var re *RunError
+			if !errors.As(tc.err, &re) {
+				t.Fatalf("errors.As(*RunError) failed for %v", tc.err)
+			}
+			var ne *NodeError
+			if !errors.As(tc.err, &ne) {
+				t.Fatalf("errors.As(*NodeError) failed for %v", tc.err)
+			}
+			if ne.Node != tc.node {
+				t.Errorf("unwrapped to node %d, want primary failure on node %d", ne.Node, tc.node)
+			}
+			if tc.check != nil {
+				tc.check(t, tc.err)
+			}
+		})
+	}
+	if (&RunError{}).Unwrap() != nil {
+		t.Error("empty RunError must unwrap to nil, not a nil-typed error")
+	}
+}
+
+// TestRunErrorBranching shows the intended caller pattern end to end on a
+// real run: distinguish an injected kill from other failures with one
+// errors.Is, no string matching.
+func TestRunErrorBranching(t *testing.T) {
+	m, r := newTestMachine(t, 2, 64)
+	m.AttachFaults(fault.Plan{Seed: 11, KillNode: 1, KillAfter: 2})
+	err := m.RunErr(func(n *Node) {
+		touchAll(t, n, r, 64)
+		n.Barrier()
+	})
+	switch {
+	case err == nil:
+		t.Fatal("run succeeded despite injected kill")
+	case errors.Is(err, fault.ErrRetryExhausted):
+		t.Fatalf("kill misclassified as retry exhaustion: %v", err)
+	case !errors.Is(err, fault.ErrKilled):
+		t.Fatalf("kill not branchable via errors.Is: %v", err)
+	}
+}

@@ -39,7 +39,7 @@ func (n *Node) preFault(b memsys.BlockID) {
 		return
 	}
 	if f.AccessFault(n.ID) {
-		panic(&fault.KillError{Node: n.ID, After: f.Plan().KillAfter})
+		n.killed(f, f.Plan().KillAfter)
 	}
 	if cyc, ok := f.Stall(n.ID); ok {
 		n.clock += cyc

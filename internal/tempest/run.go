@@ -85,10 +85,13 @@ func (e *RunError) Error() string {
 	return msg
 }
 
-// Unwrap exposes the first primary failure's cause to errors.Is/As.
+// Unwrap exposes the first primary failure to errors.Is/As: callers can
+// extract the *NodeError itself (errors.As) or keep unwrapping through
+// it to the root cause and branch on sentinels like fault.ErrKilled
+// (errors.Is).
 func (e *RunError) Unwrap() error {
 	if first := e.First(); first != nil {
-		return first.Err
+		return first
 	}
 	return nil
 }
@@ -124,6 +127,11 @@ func (m *Machine) RunErr(body func(n *Node)) error {
 	}
 	if m.cfgErr != nil {
 		return m.cfgErr
+	}
+	if m.Recovery && !m.DetSched {
+		// Restart-by-deterministic-replay is only sound when the access
+		// stream is reproducible.
+		return errors.New("tempest: Recovery requires the deterministic scheduler (set DetSched)")
 	}
 	if m.Watchdog > 0 {
 		m.bar.SetWatchdog(m.Watchdog, m.barrierDiagnostics)

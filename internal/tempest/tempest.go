@@ -186,8 +186,23 @@ type Machine struct {
 	// Net prices and accounts every protocol message (see internal/net).
 	// New installs the uniform model, which reproduces the historical
 	// flat charges bit-exactly; SetNetwork swaps in a topology-aware
-	// model before Run.
+	// model before Run.  AttachLoss wraps whichever model is installed
+	// with the retransmission layer (see retrans.go).
 	Net net.Network
+
+	// Loss is the delivery-fault model attached by AttachLoss, nil on
+	// reliable runs.
+	Loss *net.Loss
+
+	// Recovery enables crash recovery: every node snapshots its protocol
+	// state at each barrier epoch (see checkpoint.go), injected kills
+	// under a KillRecover plan restart from the last checkpoint instead
+	// of aborting the machine, and a node killed past its restart budget
+	// hands its home regions to a live peer (degraded mode).  All
+	// recovery charges are gated on this flag, so fault-free runs stay
+	// bit-identical to historical results.  Requires DetSched.  Set
+	// before Run.
+	Recovery bool
 
 	// Watchdog, when positive, bounds the wall-clock duration of any
 	// single barrier round: a round that stalls past the bound is
@@ -435,6 +450,12 @@ type Node struct {
 	lineArena  []Line
 	dataArena  []byte
 	lineChunks [][]Line
+
+	// ckpt is the node's last barrier-epoch checkpoint; degraded marks a
+	// node whose home responsibility migrated to a peer.  Both owner
+	// goroutine only; see checkpoint.go.
+	ckpt     checkpoint
+	degraded bool
 }
 
 // Clock returns the node's current virtual cycle count including handler
@@ -590,6 +611,12 @@ func (n *Node) makeRoom() {
 // stall — the node panics with the distinguished abort error, which
 // RunErr recovers into a structured collateral failure.
 func (n *Node) Barrier() {
+	// A plan may kill the node at the epoch boundary, before its arrival
+	// resolves the barrier: crash-at-barrier restarts from the *previous*
+	// epoch's checkpoint.
+	if f := n.M.Fault; f != nil && f.BarrierArrival(n.ID) {
+		n.killed(f, f.Plan().KillAtBarrier)
+	}
 	n.M.Net.Barrier(n.ID, &n.Ctr.Net)
 	n.FoldStolen()
 	c, err := n.M.bar.WaitNode(n.ID, n.clock)
@@ -598,6 +625,11 @@ func (n *Node) Barrier() {
 	}
 	n.clock = c + n.M.Cost.Barrier
 	n.Ctr.Barriers++
+	if n.M.Recovery {
+		// The epoch boundary is where the consistency contract makes
+		// node state meaningful, so it is the checkpoint point.
+		n.takeCheckpoint()
+	}
 	if t := n.M.Trace; t != nil {
 		t.Record(n.ID, n.clock, trace.BarrierEvt, 0, 0)
 	}

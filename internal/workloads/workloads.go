@@ -64,6 +64,16 @@ type Config struct {
 	// Net selects the interconnect model (nil = uniform, which matches
 	// the historical flat charges bit-exactly; see internal/net).
 	Net *net.Config
+	// Loss, when non-nil, makes the interconnect unreliable with the
+	// given seeded drop/duplicate/reorder rates; the tempest
+	// retransmission layer is interposed so runs still complete, with
+	// recovery charged in virtual cycles and tallied in Result.Loss.
+	Loss *net.LossConfig
+	// Recover enables checkpoint/restart plus degraded-mode re-homing
+	// (tempest.Machine.Recovery): kills under a KillRecover fault plan
+	// restart from the last barrier checkpoint instead of aborting.
+	// Requires the deterministic scheduler (incompatible with FreeRun).
+	Recover bool
 	// SchedSeed selects the deterministic schedule (see internal/sched):
 	// every (workload, P, seed) triple replays bit-identically, including
 	// simulated cycles and copying-mode fault counts at P>1.  Seed 0 is
@@ -112,6 +122,10 @@ func (c Config) machine(sys cstar.System) *tempest.Machine {
 			m.SetNetwork(nw)
 		}
 	}
+	if c.Loss != nil {
+		m.AttachLoss(*c.Loss)
+	}
+	m.Recovery = c.Recover
 	return m
 }
 
@@ -141,6 +155,9 @@ type Result struct {
 	// Faults is the injector's record of faults injected during the run
 	// (zero when Config.Faults was nil).
 	Faults fault.Tally
+	// Loss is the delivery-fault record of an unreliable-network run
+	// (zero when Config.Loss was nil).
+	Loss net.LossTally
 	// Net is the run's network model name; Links summarizes channel
 	// occupancy (all zero under the uniform model, which has no links).
 	Net   string
@@ -185,6 +202,9 @@ func finish(m *tempest.Machine, r *Result) {
 	r.Trace = m.Trace
 	if m.Fault != nil {
 		r.Faults = m.Fault.Tally()
+	}
+	if m.Loss != nil {
+		r.Loss = m.Loss.Tally()
 	}
 	clocks := make([]int64, m.P)
 	misses := make([]int64, m.P)
