@@ -9,9 +9,9 @@
 //
 // Usage:
 //
-//	lcmbench [-scale N] [-p N] [-verify] [-table1] [-fig2] [-fig3] [-ablate]
-//	         [-net=uniform|fattree] [-linkbw N] [-nilat N] [-netsweep]
-//	         [-schedseed N] [-freerun]
+//	lcmbench [-scale N] [-p N] [-par N] [-verify] [-table1] [-fig2] [-fig3]
+//	         [-ablate] [-net=uniform|fattree] [-linkbw N] [-nilat N]
+//	         [-netsweep] [-schedseed N] [-freerun]
 //
 // With no selection flags, all experiments run.  -net selects the
 // interconnect model (the default uniform model reproduces the historical
@@ -19,8 +19,11 @@
 // -netsweep runs the contention sensitivity sweep.  Runs are scheduled by
 // the deterministic virtual-time scheduler (internal/sched): every
 // observable, simulated cycles included, is a pure function of the
-// configuration and -schedseed.  -freerun restores host-scheduled
-// goroutine interleaving for wall-clock parallelism measurements.  -chaos runs the
+// configuration and -schedseed.  -par N executes that same schedule
+// time-parallel on up to N worker threads — observables stay bit-identical
+// to the serial run (assert with benchdiff -identical); only wall clock
+// changes.  -freerun instead restores host-scheduled goroutine
+// interleaving for wall-clock parallelism measurements.  -chaos runs the
 // fault-injection campaign instead: every workload under every memory
 // system with seeded faults, asserting answers bit-identical to the
 // fault-free runs and recovery counters matching the injected plans; the
@@ -66,6 +69,7 @@ func writeFile(path string, fn func(f *os.File) error) {
 func main() {
 	scale := flag.Int("scale", 1, "divide problem sizes by this factor (1 = paper scale)")
 	p := flag.Int("p", 32, "number of simulated processors (max 64)")
+	par := flag.Int("par", 0, "time-parallel worker threads for the deterministic schedule (0/1 = serial; observables stay bit-identical to serial)")
 	verify := flag.Bool("verify", false, "check results against sequential references (slower)")
 	table1 := flag.Bool("table1", false, "run only Table 1 benchmarks")
 	fig2 := flag.Bool("fig2", false, "run only Figure 2 (Stencil)")
@@ -109,7 +113,7 @@ func main() {
 		})
 	}
 	s := harness.New(os.Stdout)
-	s.Cfg = workloads.Config{P: *p, Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun}
+	s.Cfg = workloads.Config{P: *p, Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun, Par: *par}
 	s.Scale = *scale
 	if *netModel != "uniform" || *linkBW != 0 || *niLat != 0 {
 		netCfg := net.Config{Model: *netModel, CyclesPerByte: *linkBW, NICycles: *niLat}

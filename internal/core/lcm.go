@@ -37,6 +37,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -97,6 +98,16 @@ type nodeState struct {
 	marked []memsys.BlockID
 }
 
+// dirtyRef is one entry of a home's dirty (registered-for-commit) list:
+// the block plus the registering segment's grant key.  Time-parallel
+// segments may register out of serial order; commitLists stably sorts by
+// key, so commit — and with it every network charge it makes — replays
+// the serial order exactly.
+type dirtyRef struct {
+	b   memsys.BlockID
+	key uint64
+}
+
 // ConflictKind distinguishes the two semantic violations LCM can detect.
 type ConflictKind uint8
 
@@ -131,18 +142,25 @@ func (c Conflict) String() string {
 }
 
 // conflictLog collects detected violations; guarded by its own mutex since
-// different block locks may report concurrently.
+// different block locks may report concurrently.  Each entry carries the
+// reporting segment's grant key so Conflicts can replay the serial
+// insertion order even when time-parallel segments report out of order.
 type conflictLog struct {
 	mu    sync.Mutex
-	list  []Conflict
+	list  []keyedConflict
 	limit int
 }
 
-func (cl *conflictLog) add(c Conflict) {
+type keyedConflict struct {
+	c   Conflict
+	key uint64
+}
+
+func (cl *conflictLog) add(c Conflict, key uint64) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if cl.limit == 0 || len(cl.list) < cl.limit {
-		cl.list = append(cl.list, c)
+		cl.list = append(cl.list, keyedConflict{c: c, key: key})
 	}
 }
 
@@ -171,7 +189,7 @@ type LCM struct {
 	entries []entry
 	phase   atomic.Uint32
 
-	dirty   [][]memsys.BlockID
+	dirty   [][]dirtyRef
 	dirtyMu []sync.Mutex
 
 	conflicts conflictLog
@@ -202,12 +220,20 @@ func (p *LCM) Phase() uint32 { return p.phase.Load() }
 func (p *LCM) DrainToHome() { p.coherent.DrainToHome() }
 
 // Conflicts returns the violations detected so far (conflict-checked
-// regions only).  Call only while the machine is quiescent.
+// regions only), in serial grant order.  Call only while the machine is
+// quiescent.
 func (p *LCM) Conflicts() []Conflict {
 	p.conflicts.mu.Lock()
 	defer p.conflicts.mu.Unlock()
-	out := make([]Conflict, len(p.conflicts.list))
-	copy(out, p.conflicts.list)
+	keyed := make([]keyedConflict, len(p.conflicts.list))
+	copy(keyed, p.conflicts.list)
+	// Serial runs insert in nondecreasing key order, so the sort is the
+	// identity there; parallel runs are restored to the same order.
+	sort.SliceStable(keyed, func(i, j int) bool { return keyed[i].key < keyed[j].key })
+	out := make([]Conflict, len(keyed))
+	for i, k := range keyed {
+		out[i] = k.c
+	}
 	return out
 }
 
@@ -221,7 +247,7 @@ func (p *LCM) Attach(m *tempest.Machine) {
 	}
 	p.m = m
 	p.entries = make([]entry, m.AS.NumBlocks())
-	p.dirty = make([][]memsys.BlockID, m.P)
+	p.dirty = make([][]dirtyRef, m.P)
 	p.dirtyMu = make([]sync.Mutex, m.P)
 	p.phase.Store(1)
 	for _, n := range m.Nodes {
@@ -283,7 +309,7 @@ func (p *LCM) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	}
 	home := p.m.AS.HomeOf(b)
 	ph := p.phase.Load()
-	n.SchedYield() // deterministic handler-entry order (see internal/sched)
+	n.SchedYieldFault(b) // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	// The home image is not updated until reconciliation commits, so it
@@ -351,7 +377,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	}
 
 	home := p.m.AS.HomeOf(b)
-	n.SchedYield() // deterministic handler-entry order (see internal/sched)
+	n.SchedYieldFault(b) // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	e := p.phaseEntry(b, ph)
@@ -372,7 +398,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	if !e.registered {
 		e.registered = true
 		p.dirtyMu[home].Lock()
-		p.dirty[home] = append(p.dirty[home], b)
+		p.dirty[home] = append(p.dirty[home], dirtyRef{b: b, key: n.GrantKey()})
 		p.dirtyMu[home].Unlock()
 	}
 
@@ -447,7 +473,9 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 	home := p.m.AS.HomeOf(b)
 	c := p.m.Cost
 
-	n.SchedYield() // deterministic handler-entry order (see internal/sched)
+	// Every post-yield path charges at least a local fill or a network
+	// flush, so the full fault floor holds (the no-pending path panics).
+	n.SchedYieldFault(b) // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	e := &p.entries[b]
 	if !e.hasPending || e.gen != p.phase.Load() {
@@ -561,7 +589,7 @@ func (p *LCM) mergeElem(n *tempest.Node, b memsys.BlockID, e *entry, r *memsys.R
 			p.conflicts.add(Conflict{
 				Kind: WriteWrite, Block: b, Elem: int(idx),
 				Region: r.Name, Writers: e.writers | 1<<uint(n.ID),
-			})
+			}, n.GrantKey())
 		}
 	}
 	e.written |= 1 << idx
@@ -584,7 +612,7 @@ func (p *LCM) Evict(n *tempest.Node, b memsys.BlockID) bool {
 	if l.Tag() == tempest.TagPrivate {
 		return false
 	}
-	n.SchedYield() // deterministic handler-entry order (see internal/sched)
+	n.SchedYieldEvict(b) // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
 	p.entries[b].sharers &^= 1 << uint(n.ID)
@@ -657,8 +685,12 @@ func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {
 	list := p.dirty[home]
 	p.dirty[home] = list[:0]
 	p.dirtyMu[home].Unlock()
+	// Replay registrations in serial grant order (identity on serial
+	// runs, where appends already happen in grant order).
+	sort.SliceStable(list, func(i, j int) bool { return list[i].key < list[j].key })
 
-	for _, b := range list {
+	for _, ref := range list {
+		b := ref.b
 		e := &p.entries[b]
 		if e.gen != ph || !e.registered {
 			continue
@@ -676,7 +708,7 @@ func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {
 				p.conflicts.add(Conflict{
 					Kind: ReadWrite, Block: b, Region: r.Name,
 					Writers: e.writers, Readers: e.readers &^ e.writers,
-				})
+				}, n.GrantKey())
 			}
 			p.invalidateOutstanding(n, b, e, r, ph)
 		}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"lcm/internal/net"
+	"lcm/internal/workloads"
+)
+
+// Parallel-identity tests: running the same (workload, P, schedule seed)
+// grid time-parallel must produce trajectory JSON byte-identical to the
+// serial run — simulated cycles, Copying fault counts, and every network
+// counter included.  This is the end-to-end statement of the
+// time-parallel executor's contract (the -par flag and benchdiff
+// -identical assert the same thing from the command line), and because
+// the test suite runs under -race in CI, it doubles as the race stress
+// of the full P=8 grid in parallel mode: the worker pool, the publish
+// protocol, the network gate and the keyed side lists all execute with
+// the detector watching.
+
+// TestParallelByteIdenticalJSON runs Stencil-dynamic and Adaptive-dynamic
+// at P=8 serially and with Par=4 per schedule seed and asserts the
+// deterministic JSON renderings are byte-identical, on both interconnect
+// models (uniform uses the raw network, fattree exercises the ledger
+// serialization gate).
+func TestParallelByteIdenticalJSON(t *testing.T) {
+	nets := []struct {
+		name string
+		cfg  *net.Config
+	}{
+		{"uniform", nil},
+		{"fattree", &net.Config{Model: "fattree"}},
+	}
+	for _, nc := range nets {
+		for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+			cfg := workloads.Config{P: 8, Verify: true, SchedSeed: seed, Net: nc.cfg}
+			serial, err := MarshalDeterministic(cfg, 16, replayRows(t, cfg))
+			if err != nil {
+				t.Fatalf("%s seed %d: marshal serial: %v", nc.name, seed, err)
+			}
+			cfg.Par = 4
+			parallel, err := MarshalDeterministic(cfg, 16, replayRows(t, cfg))
+			if err != nil {
+				t.Fatalf("%s seed %d: marshal parallel: %v", nc.name, seed, err)
+			}
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s seed %d: parallel JSON differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					nc.name, seed, serial, parallel)
+			}
+		}
+	}
+}

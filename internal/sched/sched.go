@@ -106,7 +106,7 @@ type Scheduler struct {
 	nodes []nodeState
 	seed  uint64
 
-	running  int // node holding the token, -1 if none
+	running  int // node holding the token, -1 if none (serial mode)
 	step     int // grants so far
 	poisoned bool
 	poisonCh chan struct{}
@@ -120,6 +120,16 @@ type Scheduler struct {
 	curSeg int // index into segs of the running segment, -1 if none
 
 	candBuf []Candidate
+
+	// grantStep[n] is the grant step that started node n's current (or
+	// last) segment.  Written under mu at grant time, before the grant
+	// channel send; the owning node reads it via GrantKey after receiving
+	// the grant, so the channel provides the happens-before edge.
+	grantStep []uint64
+
+	// par holds the time-parallel frontier state; nil in serial mode.
+	// Immutable after SetParallel (which must precede Start).
+	par *parState
 }
 
 // New creates a scheduler for n nodes with the given tie-break seed.  All
@@ -127,11 +137,12 @@ type Scheduler struct {
 // goroutines.
 func New(n int, seed uint64) *Scheduler {
 	s := &Scheduler{
-		nodes:    make([]nodeState, n),
-		seed:     seed,
-		running:  -1,
-		poisonCh: make(chan struct{}),
-		curSeg:   -1,
+		nodes:     make([]nodeState, n),
+		seed:      seed,
+		running:   -1,
+		poisonCh:  make(chan struct{}),
+		curSeg:    -1,
+		grantStep: make([]uint64, n),
 	}
 	for i := range s.nodes {
 		s.nodes[i] = nodeState{state: Ready, gate: make(chan struct{}, 1)}
@@ -160,7 +171,11 @@ func (s *Scheduler) EnableRecording() { s.record = true }
 // node goroutines call AwaitGrant.
 func (s *Scheduler) Start() {
 	s.mu.Lock()
-	s.dispatch()
+	if s.par != nil {
+		s.admitLocked()
+	} else {
+		s.dispatch()
+	}
 	s.mu.Unlock()
 }
 
@@ -175,8 +190,16 @@ func (s *Scheduler) AwaitGrant(node int) {
 }
 
 // Yield is a scheduling point: the running node offers the token at the
-// given virtual clock and waits to be granted again.
+// given virtual clock and waits to be granted again.  The next segment is
+// assumed to be a fence (maximally conservative) in parallel mode; use
+// YieldIntent to declare a cheaper intent.
 func (s *Scheduler) Yield(node int, clock int64) {
+	s.YieldIntent(node, clock, Intent{})
+}
+
+// YieldIntent is Yield with a declared intent describing the node's next
+// segment (parallel mode; the intent is ignored by the serial token).
+func (s *Scheduler) YieldIntent(node int, clock int64, it Intent) {
 	s.mu.Lock()
 	if s.poisoned {
 		s.mu.Unlock()
@@ -187,10 +210,16 @@ func (s *Scheduler) Yield(node int, clock int64) {
 	ns.clock = clock
 	ns.seq++
 	s.endSegment(node)
-	if s.running == node {
-		s.running = -1
+	if s.par != nil {
+		s.par.cur[node] = it
+		s.leaveFrontierLocked(node)
+		s.admitLocked()
+	} else {
+		if s.running == node {
+			s.running = -1
+		}
+		s.dispatch()
 	}
-	s.dispatch()
 	s.mu.Unlock()
 	s.AwaitGrant(node)
 }
@@ -210,10 +239,16 @@ func (s *Scheduler) Block(node int) {
 	ns.state = Blocked
 	ns.seq++
 	s.endSegment(node)
-	if s.running == node {
-		s.running = -1
+	if s.par != nil {
+		s.par.cur[node] = Intent{} // wake as a fence unless overridden
+		s.leaveFrontierLocked(node)
+		s.admitLocked()
+	} else {
+		if s.running == node {
+			s.running = -1
+		}
+		s.dispatch()
 	}
-	s.dispatch()
 	s.mu.Unlock()
 }
 
@@ -233,6 +268,17 @@ func (s *Scheduler) SetReadyAt(node int, clock int64) {
 	s.mu.Unlock()
 }
 
+// SetReadyIntent is SetReadyAt with a declared intent for the woken
+// node's next segment (parallel mode; ignored by the serial token).
+func (s *Scheduler) SetReadyIntent(node int, clock int64, it Intent) {
+	s.mu.Lock()
+	if s.par != nil && s.nodes[node].state == Blocked {
+		s.par.cur[node] = it
+	}
+	s.setReadyLocked(node, clock)
+	s.mu.Unlock()
+}
+
 func (s *Scheduler) setReadyLocked(node int, clock int64) {
 	if s.poisoned {
 		return
@@ -244,6 +290,10 @@ func (s *Scheduler) setReadyLocked(node int, clock int64) {
 	ns.state = Ready
 	ns.clock = clock
 	ns.seq++
+	if s.par != nil {
+		s.admitLocked()
+		return
+	}
 	if s.running == -1 {
 		s.dispatch()
 	}
@@ -259,6 +309,14 @@ func (s *Scheduler) Exit(node int) {
 	}
 	s.nodes[node].state = Done
 	s.endSegment(node)
+	if s.par != nil {
+		s.leaveFrontierLocked(node)
+		if !s.poisoned {
+			s.admitLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
 	if s.running == node {
 		s.running = -1
 	}
@@ -277,6 +335,9 @@ func (s *Scheduler) Poison() {
 	if !s.poisoned {
 		s.poisoned = true
 		close(s.poisonCh)
+		if s.par != nil {
+			s.par.netCond.Broadcast()
+		}
 	}
 	s.mu.Unlock()
 }
@@ -338,6 +399,32 @@ func (s *Scheduler) dispatch() {
 	if s.poisoned || s.running != -1 {
 		return
 	}
+	if s.chooser == nil && s.observer == nil {
+		// Fast path: only the run queue's minimum is ever granted, and
+		// sorting the whole Ready set dominated grant cost in profiles.
+		// A linear Order-minimum scan picks the identical node (Order is
+		// a strict total order, so the minimum is unique).
+		best := -1
+		var bc Candidate
+		blocked := false
+		for i := range s.nodes {
+			switch s.nodes[i].state {
+			case Ready:
+				c := Candidate{Node: i, Clock: s.nodes[i].clock, Seq: s.nodes[i].seq}
+				if best == -1 || Order(s.seed, c, bc) {
+					best, bc = i, c
+				}
+			case Blocked:
+				blocked = true
+			}
+		}
+		if best == -1 {
+			s.fireDeadlockLocked(blocked)
+			return
+		}
+		s.grantSerial(best)
+		return
+	}
 	cands := s.candBuf[:0]
 	blocked := false
 	for i := range s.nodes {
@@ -350,11 +437,7 @@ func (s *Scheduler) dispatch() {
 	}
 	s.candBuf = cands
 	if len(cands) == 0 {
-		if blocked && s.onDeadlock != nil {
-			cb := s.onDeadlock
-			s.onDeadlock = nil // fire once
-			go cb()
-		}
+		s.fireDeadlockLocked(blocked)
 		return
 	}
 	seed := s.seed
@@ -369,10 +452,15 @@ func (s *Scheduler) dispatch() {
 			panic(fmt.Sprintf("sched: chooser returned %d of %d candidates", idx, len(cands)))
 		}
 	}
-	node := cands[idx].Node
+	s.grantSerial(cands[idx].Node)
+}
+
+// grantSerial moves the token to node.  Caller holds s.mu.
+func (s *Scheduler) grantSerial(node int) {
 	ns := &s.nodes[node]
 	ns.state = Running
 	s.running = node
+	s.grantStep[node] = uint64(s.step)
 	s.step++
 	if s.record {
 		s.segs = append(s.segs, Segment{Node: node, Step: s.step - 1})
@@ -381,6 +469,24 @@ func (s *Scheduler) dispatch() {
 	ns.gate <- struct{}{} // buffered: never blocks (at most one outstanding grant)
 }
 
+// fireDeadlockLocked fires the OnDeadlock callback (once, on a fresh
+// goroutine) when nothing is runnable but some node is still Blocked.
+func (s *Scheduler) fireDeadlockLocked(blocked bool) {
+	if blocked && s.onDeadlock != nil {
+		cb := s.onDeadlock
+		s.onDeadlock = nil // fire once
+		go cb()
+	}
+}
+
+// GrantKey returns the grant step that started node's current segment,
+// establishing the canonical position of the segment's side effects in
+// the serial order.  It is written under the scheduler lock before the
+// grant is delivered and read by the granted node during its segment, so
+// the grant channel orders the accesses.  Deterministic in both serial
+// and parallel modes, and identical between them.
+func (s *Scheduler) GrantKey(node int) uint64 { return s.grantStep[node] }
+
 // endSegment closes the running segment, if any.  Caller holds s.mu.
 func (s *Scheduler) endSegment(node int) {
 	if s.record && s.curSeg >= 0 && s.segs[s.curSeg].Node == node {
@@ -388,10 +494,26 @@ func (s *Scheduler) endSegment(node int) {
 	}
 }
 
-// Order is the run queue's strict total order over candidates: virtual
-// clock first, then — under a non-zero seed — a splitmix64 hash of
-// (seed, node, seq), then node ID.  Node IDs are unique among candidates,
-// so the order is total; the hash only permutes same-clock ties.
+// Order is the run queue's strict total order over candidates.  The
+// exact comparison, which the time-parallel merge depends on and which
+// the table test in sched_test.go pins for a fixed seed, is:
+//
+//  1. Clock, ascending: earlier virtual time runs first.
+//  2. If the seed is non-zero and the candidates' clocks tie: mix(seed,
+//     node, seq), ascending, where mix is the splitmix64 finalizer of
+//     seed ^ node*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9.  Seed 0
+//     skips this step entirely, giving the canonical (clock, node)
+//     order.
+//  3. Node ID, ascending (also the hash tie-break, making the order
+//     total: node IDs are unique among candidates).
+//  4. Seq, ascending — unreachable between two live candidates (a node
+//     appears at most once in the Ready set) but kept so Order is total
+//     over arbitrary Candidate values, which the fuzz test checks.
+//
+// Consequence used by the parallel admitter: if a.Clock > b.Clock then b
+// precedes a regardless of seed, node, or seq — a running node whose
+// future scheduling points all land strictly after a candidate's clock
+// can never overtake that candidate in the serial order.
 func Order(seed uint64, a, b Candidate) bool {
 	if a.Clock != b.Clock {
 		return a.Clock < b.Clock

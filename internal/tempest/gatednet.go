@@ -1,0 +1,55 @@
+package tempest
+
+import (
+	"lcm/internal/net"
+	"lcm/internal/sched"
+)
+
+// gatedNet wraps a stateful interconnect model (the fat tree's channel
+// ledger) for time-parallel runs: every timed operation first waits until
+// the calling node is the oldest member of the running frontier
+// (sched.NetGate), so ledger mutations — channel free-at times, queueing
+// charges — happen in exactly the order the serial scheduler would have
+// produced.  The uniform model is stateless per message and runs
+// ungated.
+//
+// The gate cannot deadlock against the simulator's block locks: a gated
+// caller may hold its fault block's home lock, but no younger frontier
+// member can need that lock mid-segment — acquiring it requires either a
+// fault grant on the same block (excluded by the scheduler's block
+// distinctness) or a write-through, which requires a writable cached
+// copy admission has vetoed while the handler's copy exists.
+type gatedNet struct {
+	net.Network
+	s *sched.Scheduler
+}
+
+func (g *gatedNet) RoundTrip(src, dst int, payload int64, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.RoundTrip(src, dst, payload, now, c)
+}
+
+func (g *gatedNet) Timeout(src, dst int, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.Timeout(src, dst, now, c)
+}
+
+func (g *gatedNet) Forward(src, dst int, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.Forward(src, dst, now, c)
+}
+
+func (g *gatedNet) Upgrade(src, dst int, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.Upgrade(src, dst, now, c)
+}
+
+func (g *gatedNet) Invalidate(src, dst int, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.Invalidate(src, dst, now, c)
+}
+
+func (g *gatedNet) Flush(src, dst int, payload int64, now int64, c *net.Counters) int64 {
+	g.s.NetGate(src)
+	return g.Network.Flush(src, dst, payload, now, c)
+}
