@@ -9,9 +9,9 @@
 //
 // Usage:
 //
-//	lcmbench [-scale N] [-p N] [-par N] [-verify] [-table1] [-fig2] [-fig3]
-//	         [-ablate] [-net=uniform|fattree] [-linkbw N] [-nilat N]
-//	         [-netsweep] [-schedseed N] [-freerun]
+//	lcmbench [-scale N] [-p N] [-par N] [-blocksize N] [-verify] [-table1]
+//	         [-fig2] [-fig3] [-ablate] [-net=uniform|fattree] [-linkbw N]
+//	         [-nilat N] [-netsweep] [-schedseed N] [-freerun]
 //
 // With no selection flags, all experiments run.  -net selects the
 // interconnect model (the default uniform model reproduces the historical
@@ -33,11 +33,17 @@
 // restart budget forcing degraded-mode re-homing, each cell asserting
 // answer identity against the fault-free oracle, bit-identical replay,
 // and exact recovery accounting.
+//
+// Benchmark cells that fail to run — an invalid configuration (for
+// example -blocksize above the protocol's 256-byte element-tracking
+// limit) or a node error — are reported on stderr and make the exit
+// status 1, with or without -verify.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -49,77 +55,98 @@ import (
 	"lcm/internal/workloads"
 )
 
-// writeFile opens path, calls fn on it, and exits on any error.
-func writeFile(path string, fn func(f *os.File) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lcmbench:", err)
-		os.Exit(1)
-	}
-	if err := fn(f); err != nil {
-		fmt.Fprintln(os.Stderr, "lcmbench:", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "lcmbench:", err)
-		os.Exit(1)
-	}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	scale := flag.Int("scale", 1, "divide problem sizes by this factor (1 = paper scale)")
-	p := flag.Int("p", 32, "number of simulated processors (max 64)")
-	par := flag.Int("par", 0, "time-parallel worker threads for the deterministic schedule (0/1 = serial; observables stay bit-identical to serial)")
-	verify := flag.Bool("verify", false, "check results against sequential references (slower)")
-	table1 := flag.Bool("table1", false, "run only Table 1 benchmarks")
-	fig2 := flag.Bool("fig2", false, "run only Figure 2 (Stencil)")
-	fig3 := flag.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
-	ablate := flag.Bool("ablate", false, "run only the Section 7 ablations")
-	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos campaign")
-	recovery := flag.Bool("recovery", false, "run only the crash-recovery matrix (checkpointed restarts, retransmission under message loss, degraded-mode re-homing)")
-	sweeps := flag.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity, interconnect); heavy at scale 1")
-	netModel := flag.String("net", "uniform", "interconnect model: uniform (flat charges, bit-identical to the historical model) or fattree (CM-5-style 4-ary fat tree with link/NI queueing)")
-	linkBW := flag.Int64("linkbw", 0, "fattree link serialization in cycles per byte (0 = default; higher = less bandwidth)")
-	niLat := flag.Int64("nilat", 0, "fattree network-interface occupancy in cycles per message end (0 = default)")
-	netSweep := flag.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
-	schedSeed := flag.Uint64("schedseed", 0, "deterministic schedule seed (0 = canonical cycle/node order; other seeds permute same-cycle ties)")
-	freeRun := flag.Bool("freerun", false, "disable the deterministic scheduler and let node goroutines interleave at the host's whim (observables are then not run-to-run reproducible)")
-	csvPath := flag.String("csv", "", "also write benchmark results as CSV to this file")
-	jsonPath := flag.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	flag.Parse()
+// writeFile opens path, calls fn on it, and reports any error.
+func writeFile(path string, fn func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// run is the whole program with main's process concerns (args, exit
+// status, output streams) made explicit so tests can drive it in
+// process.  It returns the exit code: 0 on success, 1 on failed runs or
+// verdicts, 2 on unusable flags.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lcmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 1, "divide problem sizes by this factor (1 = paper scale)")
+	p := fs.Int("p", 32, "number of simulated processors")
+	par := fs.Int("par", 0, "time-parallel worker threads for the deterministic schedule (0/1 = serial; observables stay bit-identical to serial)")
+	blockSize := fs.Int("blocksize", 0, "coherence block size in bytes (0 = paper default of 32; power of two, at most 256)")
+	verify := fs.Bool("verify", false, "check results against sequential references (slower)")
+	table1 := fs.Bool("table1", false, "run only Table 1 benchmarks")
+	fig2 := fs.Bool("fig2", false, "run only Figure 2 (Stencil)")
+	fig3 := fs.Bool("fig3", false, "run only Figure 3 (Adaptive/Threshold/Unstructured)")
+	ablate := fs.Bool("ablate", false, "run only the Section 7 ablations")
+	chaos := fs.Bool("chaos", false, "run only the fault-injection chaos campaign")
+	recovery := fs.Bool("recovery", false, "run only the crash-recovery matrix (checkpointed restarts, retransmission under message loss, degraded-mode re-homing)")
+	sweeps := fs.Bool("sweeps", false, "also run the extension sweeps (block size, processors, cache capacity, interconnect); heavy at scale 1")
+	netModel := fs.String("net", "uniform", "interconnect model: uniform (flat charges, bit-identical to the historical model) or fattree (CM-5-style 4-ary fat tree with link/NI queueing)")
+	linkBW := fs.Int64("linkbw", 0, "fattree link serialization in cycles per byte (0 = default; higher = less bandwidth)")
+	niLat := fs.Int64("nilat", 0, "fattree network-interface occupancy in cycles per message end (0 = default)")
+	netSweep := fs.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
+	schedSeed := fs.Uint64("schedseed", 0, "deterministic schedule seed (0 = canonical cycle/node order; other seeds permute same-cycle ties)")
+	freeRun := fs.Bool("freerun", false, "disable the deterministic scheduler and let node goroutines interleave at the host's whim (observables are then not run-to-run reproducible)")
+	csvPath := fs.String("csv", "", "also write benchmark results as CSV to this file")
+	jsonPath := fs.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *scale < 1 {
-		fmt.Fprintln(os.Stderr, "lcmbench: -scale must be >= 1")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "lcmbench: -scale must be >= 1")
+		return 2
+	}
+	if *blockSize != 0 && (*blockSize < 8 || *blockSize&(*blockSize-1) != 0) {
+		// Power-of-two >= 8 is the address-space requirement; sizes
+		// above the protocol's element-tracking limit pass through here
+		// and fail per cell with a config error (exit 1).
+		fmt.Fprintln(stderr, "lcmbench: -blocksize must be a power of two >= 8")
+		return 2
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lcmbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lcmbench:", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lcmbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lcmbench:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
-		defer writeFile(*memProfile, func(f *os.File) error {
-			runtime.GC() // settle allocations so the profile shows live heap
-			return pprof.WriteHeapProfile(f)
-		})
+		defer func() {
+			err := writeFile(*memProfile, func(f *os.File) error {
+				runtime.GC() // settle allocations so the profile shows live heap
+				return pprof.WriteHeapProfile(f)
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+			}
+		}()
 	}
-	s := harness.New(os.Stdout)
-	s.Cfg = workloads.Config{P: *p, Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun, Par: *par}
+	s := harness.New(stdout)
+	s.Cfg = workloads.Config{P: *p, BlockSize: uint32(*blockSize), Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun, Par: *par}
 	s.Scale = *scale
 	if *netModel != "uniform" || *linkBW != 0 || *niLat != 0 {
 		netCfg := net.Config{Model: *netModel, CyclesPerByte: *linkBW, NICycles: *niLat}
 		if _, err := net.New(netCfg, *p, cost.Default()); err != nil {
-			fmt.Fprintln(os.Stderr, "lcmbench:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "lcmbench:", err)
+			return 2
 		}
 		s.Cfg.Net = &netCfg
 	}
@@ -127,53 +154,59 @@ func main() {
 	start := time.Now()
 	if *netSweep {
 		s.DefaultNetSweep()
-		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
-		return
+		fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 	if *chaos {
 		if err := s.RunChaos(harness.DefaultChaosPlans()); err != nil {
-			fmt.Fprintf(os.Stderr, "lcmbench: chaos campaign FAILED:\n%v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "lcmbench: chaos campaign FAILED:\n%v\n", err)
+			return 1
 		}
-		fmt.Println("chaos campaign passed: all recoveries bit-identical, counters match injected plans")
-		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
-		return
+		fmt.Fprintln(stdout, "chaos campaign passed: all recoveries bit-identical, counters match injected plans")
+		fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 	if *recovery {
 		if err := s.RunRecovery(harness.DefaultRecoveryPlans(), []uint64{1, 2}); err != nil {
-			fmt.Fprintf(os.Stderr, "lcmbench: recovery matrix FAILED:\n%v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "lcmbench: recovery matrix FAILED:\n%v\n", err)
+			return 1
 		}
-		fmt.Println("recovery matrix passed: all runs survived, answers and replays bit-identical, recovery counters exact")
-		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
-		return
+		fmt.Fprintln(stdout, "recovery matrix passed: all runs survived, answers and replays bit-identical, recovery counters exact")
+		fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 	all := !*table1 && !*fig2 && !*fig3 && !*ablate
 
 	if all || *table1 || *fig2 || *fig3 {
 		rows := s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)
 		if *csvPath != "" {
-			writeFile(*csvPath, func(f *os.File) error { return harness.WriteCSV(f, rows) })
-			fmt.Printf("wrote %s\n", *csvPath)
+			if err := writeFile(*csvPath, func(f *os.File) error { return harness.WriteCSV(f, rows) }); err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
 		}
 		if *jsonPath != "" {
-			writeFile(*jsonPath, func(f *os.File) error { return harness.WriteJSON(f, s.Cfg, s.Scale, rows) })
-			fmt.Printf("wrote %s\n", *jsonPath)
+			if err := writeFile(*jsonPath, func(f *os.File) error { return harness.WriteJSON(f, s.Cfg, s.Scale, rows) }); err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
 		}
-		if *verify {
-			bad := 0
-			for _, row := range rows {
-				for _, r := range row {
-					if r.Err != nil {
-						fmt.Fprintf(os.Stderr, "VERIFY FAILED %s/%s: %v\n", r.Label(), r.System, r.Err)
-						bad++
-					}
+		bad := 0
+		for _, row := range rows {
+			for _, r := range row {
+				if r.Err != nil {
+					fmt.Fprintf(stderr, "FAILED %s/%s: %v\n", r.Label(), r.System, r.Err)
+					bad++
 				}
 			}
-			if bad > 0 {
-				os.Exit(1)
-			}
-			fmt.Println("all benchmark results verified against sequential references")
+		}
+		if bad > 0 {
+			return 1
+		}
+		if *verify {
+			fmt.Fprintln(stdout, "all benchmark results verified against sequential references")
 		}
 	}
 	if all || *ablate {
@@ -182,5 +215,6 @@ func main() {
 	if *sweeps {
 		s.RunSweeps()
 	}
-	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A block size above 256 bytes exceeds the per-element modified bitmask
+// of the LCM directory.  The protocol records it as a config error (not
+// a panic), every affected cell fails its run, and lcmbench turns the
+// failed cells into exit status 1 with a diagnostic on stderr.
+func TestBlockSizeConfigErrorExitsOne(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-fig2", "-scale", "64", "-p", "2", "-blocksize", "512"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run() = %d, want exit code 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "block size 512 exceeds 256 bytes") {
+		t.Errorf("stderr missing the config-error diagnostic:\n%s", errOut.String())
+	}
+}
+
+// Unusable flag values are rejected before any cell runs, with exit
+// status 2.
+func TestBadBlockSizeFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-blocksize", "48"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-blocksize 48) = %d, want exit code 2", code)
+	}
+	if code := run([]string{"-scale", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-scale 0) = %d, want exit code 2", code)
+	}
+}
+
+// A small grid driven in process end to end: a P=96 cell crosses the
+// 64-bit word boundary of the directory's node sets and must still
+// verify against the sequential references and exit 0.
+func TestCrossWordGridRunsVerified(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-fig2", "-scale", "64", "-p", "96", "-verify"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "all benchmark results verified") {
+		t.Errorf("stdout missing the verification verdict:\n%s", out.String())
+	}
+}

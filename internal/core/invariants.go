@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
 	"lcm/internal/memsys"
 	"lcm/internal/tempest"
@@ -45,11 +44,14 @@ func (p *LCM) checkTags(forbidPrivate bool) error {
 	for bi := range p.entries {
 		b := memsys.BlockID(bi)
 		e := &p.entries[bi]
-		if e.sharers == 0 || p.m.AS.RegionOfBlock(b).Kind == memsys.KindCoherent {
+		if e.sharers.Empty() || p.m.AS.RegionOfBlock(b).Kind == memsys.KindCoherent {
 			continue
 		}
-		for s := e.sharers; s != 0; s &= s - 1 {
-			id := bits.TrailingZeros64(s)
+		for it := e.sharers.Iter(); ; {
+			id, ok := it.Next()
+			if !ok {
+				break
+			}
 			l := p.m.Nodes[id].Line(b)
 			if l == nil || l.Tag() != tempest.TagReadOnly {
 				tag := "none"
@@ -76,7 +78,7 @@ func (p *LCM) checkTags(forbidPrivate bool) error {
 				case tempest.TagReadWrite:
 					return fmt.Errorf("core: loose block %d carries coherent rw tag at node %d", b, id)
 				case tempest.TagReadOnly:
-					if p.entries[b].sharers&(1<<uint(id)) == 0 {
+					if !p.entries[b].sharers.Contains(id) {
 						return fmt.Errorf("core: block %d read-only at node %d but not in sharer mask", b, id)
 					}
 				case tempest.TagPrivate:

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"lcm/internal/memsys"
+	"lcm/internal/nodeset"
 	"lcm/internal/stache"
 	"lcm/internal/tempest"
 	"lcm/internal/trace"
@@ -70,17 +71,18 @@ func (v Variant) String() string {
 type entry struct {
 	// sharers is the set of nodes currently holding read-only copies.
 	// It persists across phases (unmodified blocks keep their copies).
-	sharers uint64
+	sharers nodeset.Set
 
 	// gen is the reconcile phase for which the fields below are valid.
 	gen uint32
 
 	// readers is the set of nodes that faulted a read this phase
 	// (tracked only for conflict-checked regions).
-	readers uint64
+	readers nodeset.Set
 	// writers is the set of nodes that returned modified elements.
-	writers uint64
-	// written is the per-element modified bitmask.
+	writers nodeset.Set
+	// written is the per-element modified bitmask (elements, not nodes:
+	// a block holds at most 64 four-byte words, so this stays a word).
 	written uint64
 
 	// pending is the merge image for the phase; hasPending records
@@ -130,14 +132,14 @@ func (k ConflictKind) String() string {
 type Conflict struct {
 	Kind    ConflictKind
 	Block   memsys.BlockID
-	Elem    int    // element index within the block (WriteWrite only)
-	Region  string // region name
-	Writers uint64 // writer mask at detection time
-	Readers uint64 // reader mask (ReadWrite only)
+	Elem    int         // element index within the block (WriteWrite only)
+	Region  string      // region name
+	Writers nodeset.Set // writer set at detection time
+	Readers nodeset.Set // reader set (ReadWrite only)
 }
 
 func (c Conflict) String() string {
-	return fmt.Sprintf("%s conflict in %q block %d elem %d (writers %#x readers %#x)",
+	return fmt.Sprintf("%s conflict in %q block %d elem %d (writers %v readers %v)",
 		c.Kind, c.Region, c.Block, c.Elem, c.Writers, c.Readers)
 }
 
@@ -239,14 +241,28 @@ func (p *LCM) Conflicts() []Conflict {
 
 // Attach implements tempest.Protocol.
 func (p *LCM) Attach(m *tempest.Machine) {
-	if m.P > 64 {
-		panic("core: at most 64 nodes (copy bitmasks)")
-	}
 	if m.AS.BlockSize > 256 {
-		panic("core: block size above 256 bytes (element bitmask)")
+		// The per-element written mask tracks at most 64 four-byte
+		// words per block.  A config error (not a panic) so the run
+		// fails gracefully through Machine.RunErr, per the tempest
+		// error-path convention.
+		m.RecordConfigError(fmt.Errorf(
+			"core: block size %d exceeds 256 bytes (the per-element modified bitmask tracks at most 64 words per block)",
+			m.AS.BlockSize))
 	}
 	p.m = m
 	p.entries = make([]entry, m.AS.NumBlocks())
+	// P > 64 spills the directory copysets past their inline word; carve
+	// the spill storage from one arena so the directory stays a handful
+	// of allocations at any machine size.
+	if ar := nodeset.NewArena(m.P - 1); ar.Words() > 0 {
+		for i := range p.entries {
+			e := &p.entries[i]
+			e.sharers = ar.Make()
+			e.readers = ar.Make()
+			e.writers = ar.Make()
+		}
+	}
 	p.dirty = make([][]dirtyRef, m.P)
 	p.dirtyMu = make([]sync.Mutex, m.P)
 	p.phase.Store(1)
@@ -279,7 +295,9 @@ func (p *LCM) phaseEntry(b memsys.BlockID, ph uint32) *entry {
 	e := &p.entries[b]
 	if e.gen != ph {
 		e.gen = ph
-		e.readers, e.writers, e.written = 0, 0, 0
+		e.readers.Clear()
+		e.writers.Clear()
+		e.written = 0
 		e.hasPending = false
 		e.registered = false
 	}
@@ -317,9 +335,9 @@ func (p *LCM) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	l := n.Install(b, p.m.AS.HomeData(b), tempest.TagReadOnly)
 	l.Gen = ph
 	e := p.phaseEntry(b, ph)
-	e.sharers |= 1 << uint(n.ID)
+	e.sharers.Add(n.ID)
 	if r.ConflictCheck {
-		e.readers |= 1 << uint(n.ID)
+		e.readers.Add(n.ID)
 	}
 	p.chargeMiss(n, home)
 	if t := p.m.Trace; t != nil {
@@ -428,7 +446,7 @@ func (p *LCM) mark(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 		p.m.Shared.CleanCopiesLocal.Add(1)
 	}
 	// A private writer is no longer a read-only sharer.
-	e.sharers &^= 1 << uint(n.ID)
+	e.sharers.Remove(n.ID)
 	p.noteMarked(n, l, b)
 	if t := p.m.Trace; t != nil {
 		t.Record(n.ID, n.Clock(), trace.Mark, uint32(b), 0)
@@ -534,7 +552,7 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 	}
 	l.WMask = 0
 	if words > 0 {
-		e.writers |= 1 << uint(n.ID)
+		e.writers.Add(n.ID)
 	}
 	n.Ctr.Flushes++
 	n.Ctr.WordsFlushed += words * int64(es/4)
@@ -549,7 +567,7 @@ func (p *LCM) flushBlock(n *tempest.Node, b memsys.BlockID) {
 		// pre-phase copy without re-fetching.
 		copy(l.Data, l.Clean)
 		l.SetTag(tempest.TagReadOnly)
-		e.sharers |= 1 << uint(n.ID)
+		e.sharers.Add(n.ID)
 	}
 	l.Marked = false
 	p.m.Unlock(b)
@@ -586,9 +604,12 @@ func (p *LCM) mergeElem(n *tempest.Node, b memsys.BlockID, e *entry, r *memsys.R
 			t.Record(n.ID, n.Clock(), trace.Conflict, uint32(b), int32(idx))
 		}
 		if r.ConflictCheck {
+			// Cold path: the log snapshot clones the live writer set.
+			writers := e.writers.Clone()
+			writers.Add(n.ID)
 			p.conflicts.add(Conflict{
 				Kind: WriteWrite, Block: b, Elem: int(idx),
-				Region: r.Name, Writers: e.writers | 1<<uint(n.ID),
+				Region: r.Name, Writers: writers,
 			}, n.GrantKey())
 		}
 	}
@@ -615,7 +636,7 @@ func (p *LCM) Evict(n *tempest.Node, b memsys.BlockID) bool {
 	n.SchedYieldEvict(b) // deterministic handler-entry order (see internal/sched)
 	p.m.Lock(b)
 	defer p.m.Unlock(b)
-	p.entries[b].sharers &^= 1 << uint(n.ID)
+	p.entries[b].sharers.Remove(n.ID)
 	l.SetTag(tempest.TagInvalid)
 	n.Charge(p.m.Cost.MarkLocal)
 	return true
@@ -696,18 +717,20 @@ func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {
 			continue
 		}
 		r := p.m.AS.RegionOfBlock(b)
-		if e.writers != 0 {
+		if !e.writers.Empty() {
 			copy(p.m.AS.HomeData(b), e.pending)
 			p.m.Shared.Reconciles.Add(1)
 			n.Charge(c.LocalFill)
 			if t := p.m.Trace; t != nil {
 				t.Record(n.ID, n.Clock(), trace.Commit, uint32(b), int32(bits.OnesCount64(e.written)))
 			}
-			if r.ConflictCheck && e.readers&^e.writers != 0 {
+			if r.ConflictCheck && !e.readers.SubsetOf(&e.writers) {
 				p.m.Shared.ReadWriteConflicts.Add(1)
+				pureReaders := e.readers.Clone()
+				pureReaders.Subtract(&e.writers)
 				p.conflicts.add(Conflict{
 					Kind: ReadWrite, Block: b, Region: r.Name,
-					Writers: e.writers, Readers: e.readers &^ e.writers,
+					Writers: e.writers.Clone(), Readers: pureReaders,
 				}, n.GrantKey())
 			}
 			p.invalidateOutstanding(n, b, e, r, ph)
@@ -739,37 +762,46 @@ func (p *LCM) commitLists(n *tempest.Node, home int, ph uint32) {
 // block, honoring the stale-data policy (Section 7.5): copies of a
 // KindStale region younger than StalePhases survive the commit.
 func (p *LCM) invalidateOutstanding(n *tempest.Node, b memsys.BlockID, e *entry, r *memsys.Region, ph uint32) {
-	keep := uint64(0)
+	// Members are dropped in place while the fan-out walks them —
+	// nodeset.Iter snapshots each word before popping its bits, so
+	// removing the member just visited is safe and the ascending charge
+	// order matches the historical flat-mask loop exactly.
 	sent := int64(0)
-	for s := e.sharers; s != 0; s &= s - 1 {
-		id := bits.TrailingZeros64(s)
+	for it := e.sharers.Iter(); ; {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
 		l := p.m.Nodes[id].Line(b)
 		if l == nil {
+			e.sharers.Remove(id)
 			continue
 		}
 		if r.Kind == memsys.KindStale && ph-l.Gen < uint32(r.StalePhases) {
-			keep |= 1 << uint(id)
-			continue
+			continue // stale policy: the young copy survives the commit
 		}
+		e.sharers.Remove(id)
 		l.SetTag(tempest.TagInvalid)
 		n.Charge(p.m.Net.Invalidate(n.ID, id, n.Clock(), &n.Ctr.Net))
 		sent++
 	}
-	e.sharers = keep
 	n.Ctr.InvalidationsSent += sent
 }
 
 // invalidateAllSharers drops every read-only copy of b.
 func (p *LCM) invalidateAllSharers(n *tempest.Node, b memsys.BlockID, e *entry) {
-	for s := e.sharers; s != 0; s &= s - 1 {
-		id := bits.TrailingZeros64(s)
+	for it := e.sharers.Iter(); ; {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
 		if l := p.m.Nodes[id].Line(b); l != nil {
 			l.SetTag(tempest.TagInvalid)
 		}
 		n.Ctr.InvalidationsSent++
 		n.Charge(p.m.Net.Invalidate(n.ID, id, n.Clock(), &n.Ctr.Net))
 	}
-	e.sharers = 0
+	e.sharers.Clear()
 }
 
 var _ tempest.Protocol = (*LCM)(nil)

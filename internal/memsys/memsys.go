@@ -158,29 +158,28 @@ type AddressSpace struct {
 	regions []*Region
 
 	// home[b] is the home node of block b, built at Freeze.
-	home []uint8
+	home []int32
 	// rehomed, when non-nil, overrides home for degraded-mode recovery:
 	// rehomed[b] == rehomeNone means "use home[b]", anything else is the
 	// migrated home.  Allocated lazily by Rehome so the fault-free HomeOf
 	// fast path costs one nil check.  Mutated only while the machine is
 	// quiescent at a deterministic point (a single running node under the
 	// deterministic scheduler).
-	rehomed []uint8
+	rehomed []int32
 	// regionOf[b] is the index into regions of block b's region.
 	regionOf []uint16
 	// data is the home image, indexed by Addr.
 	data []byte
 }
 
-// rehomeNone marks a block whose home has not migrated.  Node IDs fit in
-// [0,254] (NewAddressSpace caps P at 255), so 0xff is free.
-const rehomeNone = 0xff
+// rehomeNone marks a block whose home has not migrated.
+const rehomeNone = int32(-1)
 
 // NewAddressSpace creates an address space for p nodes with the given
 // block size (a power of two, at least 8 bytes).
 func NewAddressSpace(p int, blockSize uint32) *AddressSpace {
-	if p < 1 || p > 255 {
-		panic(fmt.Sprintf("memsys: node count %d out of range [1,255]", p))
+	if p < 1 {
+		panic(fmt.Sprintf("memsys: node count %d out of range", p))
 	}
 	if blockSize < 8 || bits.OnesCount32(blockSize) != 1 {
 		panic(fmt.Sprintf("memsys: block size %d must be a power of two >= 8", blockSize))
@@ -237,7 +236,7 @@ func (as *AddressSpace) Freeze() {
 	}
 	as.frozen = true
 	n := as.NumBlocks()
-	as.home = make([]uint8, n)
+	as.home = make([]int32, n)
 	as.regionOf = make([]uint16, n)
 	as.data = make([]byte, uint64(as.next))
 	if len(as.regions) > 1<<16 {
@@ -247,7 +246,7 @@ func (as *AddressSpace) Freeze() {
 		for i := uint32(0); i < r.nBlocks; i++ {
 			b := r.firstBlock + BlockID(i)
 			as.regionOf[b] = uint16(ri)
-			as.home[b] = uint8(r.homeOf(i, as.P))
+			as.home[b] = int32(r.homeOf(i, as.P))
 		}
 	}
 }
@@ -328,7 +327,7 @@ func (as *AddressSpace) Rehome(from, to int) int64 {
 		panic(fmt.Sprintf("memsys: Rehome(%d, %d) invalid for P=%d", from, to, as.P))
 	}
 	if as.rehomed == nil {
-		as.rehomed = make([]uint8, len(as.home))
+		as.rehomed = make([]int32, len(as.home))
 		for i := range as.rehomed {
 			as.rehomed[i] = rehomeNone
 		}
@@ -336,7 +335,7 @@ func (as *AddressSpace) Rehome(from, to int) int64 {
 	var moved int64
 	for b := range as.home {
 		if as.HomeOf(BlockID(b)) == from {
-			as.rehomed[b] = uint8(to)
+			as.rehomed[b] = int32(to)
 			moved++
 		}
 	}

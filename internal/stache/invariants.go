@@ -39,14 +39,16 @@ func (p *Protocol) CheckInvariants() error {
 			continue
 		}
 		if e.state == stateExcl {
-			if l := p.m.Nodes[e.owner].Line(b); l == nil || l.Tag() != tempest.TagReadWrite {
+			if l := p.m.Nodes[int(e.owner)].Line(b); l == nil || l.Tag() != tempest.TagReadWrite {
 				return fmt.Errorf("stache: block %d owner %d has tag %s", b, e.owner, lineTagName(l))
 			}
 			continue
 		}
-		for id := range p.m.Nodes {
-			if e.sharers&(1<<uint(id)) == 0 {
-				continue
+		// Word-skipping member iteration: O(sharers), not O(P) per block.
+		for it := e.sharers.Iter(); ; {
+			id, ok := it.Next()
+			if !ok {
+				break
 			}
 			if l := p.m.Nodes[id].Line(b); l == nil || l.Tag() != tempest.TagReadOnly {
 				return fmt.Errorf("stache: block %d sharer %d has tag %s", b, id, lineTagName(l))
@@ -54,7 +56,6 @@ func (p *Protocol) CheckInvariants() error {
 		}
 	}
 	for id, nd := range p.m.Nodes {
-		bit := uint64(1) << uint(id)
 		for _, chunk := range nd.InstalledLines() {
 			for li := range chunk {
 				l := &chunk[li]
@@ -73,7 +74,7 @@ func (p *Protocol) CheckInvariants() error {
 				case stateIdle:
 					return fmt.Errorf("stache: idle block %d readable at node %d (%s)", b, id, tempest.TagName(tag))
 				case stateShared:
-					if e.sharers&bit == 0 {
+					if !e.sharers.Contains(id) {
 						return fmt.Errorf("stache: block %d non-sharer %d has tag %s", b, id, tempest.TagName(tag))
 					}
 				case stateExcl:

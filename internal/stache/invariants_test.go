@@ -107,3 +107,34 @@ func TestStacheSequentialConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInvariantsAtWideMachines re-runs the directory audit on machines
+// whose sharer sets spill past the inline 64-bit word (P=65 and P=256):
+// all nodes share a block, a high-ID owner (> 63) takes it exclusive —
+// a cross-word invalidation fan-out — and the sharing re-forms through
+// a 3-hop recall from the spilled owner.
+func TestInvariantsAtWideMachines(t *testing.T) {
+	for _, p := range []int{65, 256} {
+		m, r, pr := newMachine(t, p, 8)
+		writer := p - 1 // lives in the spill words
+		ok := true
+		m.Run(func(n *tempest.Node) {
+			_ = n.ReadU32(r.Base)
+			n.Barrier()
+			if n.ID == writer {
+				n.WriteU32(r.Base, 1234)
+			}
+			n.Barrier()
+			if n.ReadU32(r.Base) != 1234 { // 3-hop recall from the spilled owner
+				ok = false
+			}
+			n.Barrier()
+		})
+		if !ok {
+			t.Fatalf("P=%d: read did not observe the spilled owner's write", p)
+		}
+		if err := pr.CheckInvariants(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}

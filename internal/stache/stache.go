@@ -19,9 +19,9 @@ package stache
 
 import (
 	"fmt"
-	"math/bits"
 
 	"lcm/internal/memsys"
+	"lcm/internal/nodeset"
 	"lcm/internal/tempest"
 	"lcm/internal/trace"
 )
@@ -40,8 +40,8 @@ const (
 
 // entry is one block's home directory record.  Guarded by the block's lock.
 type entry struct {
-	sharers uint64 // bitmask of nodes holding read-only copies
-	owner   uint8  // exclusive owner when state == stateExcl
+	sharers nodeset.Set // nodes holding read-only copies
+	owner   int32       // exclusive owner when state == stateExcl
 	state   dirState
 }
 
@@ -61,23 +61,29 @@ func (p *Protocol) Name() string { return "stache" }
 
 // Attach implements tempest.Protocol.
 func (p *Protocol) Attach(m *tempest.Machine) {
-	if m.P > 64 {
-		panic("stache: at most 64 nodes (sharer bitmask)")
-	}
 	p.m = m
 	p.entries = make([]entry, m.AS.NumBlocks())
+	// P > 64 spills the sharer sets past their inline word; carve the
+	// spill storage from one arena (see internal/nodeset).
+	if ar := nodeset.NewArena(m.P - 1); ar.Words() > 0 {
+		for i := range p.entries {
+			p.entries[i].sharers = ar.Make()
+		}
+	}
 }
 
-// Entry state inspection for tests: returns (state name, owner, sharers).
+// Entry state inspection for tests: returns (state name, owner, and the
+// sharer set's inline word — the tests drive machines of at most 64
+// nodes, where the word is the whole set).
 func (p *Protocol) inspect(b memsys.BlockID) (string, int, uint64) {
 	e := &p.entries[b]
 	switch e.state {
 	case stateIdle:
-		return "idle", -1, e.sharers
+		return "idle", -1, e.sharers.Low64()
 	case stateShared:
-		return "shared", -1, e.sharers
+		return "shared", -1, e.sharers.Low64()
 	case stateExcl:
-		return "excl", int(e.owner), e.sharers
+		return "excl", int(e.owner), e.sharers.Low64()
 	}
 	return "?", -1, 0
 }
@@ -108,7 +114,7 @@ func (p *Protocol) chargeMiss(n *tempest.Node, home, owner int, threeHop bool) {
 // home already holds the owner's data; only the owner's access rights
 // change.  Caller holds b's lock.
 func (p *Protocol) recallDirty(b memsys.BlockID, e *entry, downgradeTo tempest.Tag) {
-	owner := p.m.Nodes[e.owner]
+	owner := p.m.Nodes[int(e.owner)]
 	l := owner.Line(b)
 	if l == nil {
 		panic(fmt.Sprintf("stache: directory says node %d owns block %d but it has no line", e.owner, b))
@@ -135,12 +141,13 @@ func (p *Protocol) ReadFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 		}
 		owner = int(e.owner)
 		p.recallDirty(b, e, tempest.TagReadOnly)
-		e.sharers = 1 << e.owner
+		e.sharers.Clear()
+		e.sharers.Add(int(e.owner))
 		e.state = stateShared
 		threeHop = true
 	}
 	l := n.Install(b, m.AS.HomeData(b), tempest.TagReadOnly)
-	e.sharers |= 1 << uint(n.ID)
+	e.sharers.Add(n.ID)
 	e.state = stateShared
 	p.chargeMiss(n, home, owner, threeHop)
 	if t := m.Trace; t != nil {
@@ -168,11 +175,11 @@ func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 		p.recallDirty(b, e, tempest.TagInvalid)
 		n.Ctr.InvalidationsSent++
 		n.Charge(m.Net.Invalidate(n.ID, oldOwner, n.Clock(), &n.Ctr.Net))
-		e.sharers = 0
+		e.sharers.Clear()
 		e.state = stateIdle
 		l := n.Install(b, m.AS.HomeData(b), tempest.TagReadWrite)
 		e.state = stateExcl
-		e.owner = uint8(n.ID)
+		e.owner = int32(n.ID)
 		p.chargeMiss(n, home, oldOwner, true)
 		if t := m.Trace; t != nil {
 			t.Record(n.ID, n.Clock(), trace.WriteMiss, uint32(b), 0)
@@ -183,9 +190,8 @@ func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	// Invalidate outstanding read-only copies (other than ours).
 	p.invalidateSharers(n, b, e)
 
-	self := uint64(1) << uint(n.ID)
 	var l *tempest.Line
-	if e.sharers&self != 0 || hasValidLine(n, b) {
+	if e.sharers.Contains(n.ID) || hasValidLine(n, b) {
 		// Upgrade in place: we already hold the current data read-only.
 		l = n.Line(b)
 		l.SetTag(tempest.TagReadWrite)
@@ -202,14 +208,14 @@ func (p *Protocol) WriteFault(n *tempest.Node, b memsys.BlockID) *tempest.Line {
 	}
 	if t := m.Trace; t != nil {
 		k := trace.WriteMiss
-		if l.Tag() == tempest.TagReadWrite && e.sharers&(1<<uint(n.ID)) != 0 {
+		if l.Tag() == tempest.TagReadWrite && e.sharers.Contains(n.ID) {
 			k = trace.Upgrade
 		}
 		t.Record(n.ID, n.Clock(), k, uint32(b), 0)
 	}
-	e.sharers = 0
+	e.sharers.Clear()
 	e.state = stateExcl
-	e.owner = uint8(n.ID)
+	e.owner = int32(n.ID)
 	return l
 }
 
@@ -225,8 +231,14 @@ func hasValidLine(n *tempest.Node, b memsys.BlockID) bool {
 // charges n for them.  Caller holds b's lock.  Returns the count.
 func (p *Protocol) invalidateSharers(n *tempest.Node, b memsys.BlockID, e *entry) int {
 	count := 0
-	for s := e.sharers &^ (1 << uint(n.ID)); s != 0; s &= s - 1 {
-		id := bits.TrailingZeros64(s)
+	for it := e.sharers.Iter(); ; {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		if id == n.ID {
+			continue
+		}
 		if l := p.m.Nodes[id].Line(b); l != nil {
 			l.SetTag(tempest.TagInvalid)
 		}
@@ -257,13 +269,13 @@ func (p *Protocol) Evict(n *tempest.Node, b memsys.BlockID) bool {
 	switch {
 	case e.state == stateExcl && int(e.owner) == n.ID:
 		e.state = stateIdle
-		e.sharers = 0
+		e.sharers.Clear()
 		// Dirty write-back message (no payload charge: coherent stores
 		// wrote the data through to the home image as they happened).
 		n.Charge(m.Net.Flush(n.ID, m.AS.HomeOf(b), 0, n.Clock(), &n.Ctr.Net))
 	default:
-		e.sharers &^= 1 << uint(n.ID)
-		if e.sharers == 0 && e.state == stateShared {
+		e.sharers.Remove(n.ID)
+		if e.sharers.Empty() && e.state == stateShared {
 			e.state = stateIdle
 		}
 		n.Charge(m.Cost.MarkLocal) // silent drop of a clean copy

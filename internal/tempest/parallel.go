@@ -65,6 +65,11 @@ func (m *Machine) parWorkers() int {
 //
 // Called with the scheduler lock held; reads only atomic tags and
 // immutable homes, calls nothing back.
+//
+// The veto deliberately consults per-node line tables rather than the
+// directory copysets (nodeset.Set): it is O(frontier members), so it is
+// width-independent — the same code admits at P=8 and at P=1024 — and
+// it never takes the block locks that guard the copysets.
 func (m *Machine) admitOK(c sched.Candidate, it sched.Intent, peers []sched.Peer) bool {
 	cFault := it.Kind == sched.IntentFault
 	var cb memsys.BlockID

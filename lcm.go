@@ -139,7 +139,10 @@ const (
 // MachineConfig configures NewMachine.
 type MachineConfig struct {
 	// Nodes is the processor count (default 32, the paper's CM-5
-	// partition size; at most 64).
+	// partition size).  Machines up to 64 nodes keep every directory
+	// copyset in a single inline word; larger machines — CI verifies
+	// P=256 grids and a P=1024 smoke — spill into multi-word sets
+	// (internal/nodeset) with no change in observables.
 	Nodes int
 	// BlockSize is the coherence block size in bytes (default 32 = eight
 	// single-precision floats, as in the paper; power of two, 8..256).
