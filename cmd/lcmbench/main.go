@@ -47,9 +47,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"lcm/internal/cost"
+	"lcm/internal/cstar"
 	"lcm/internal/harness"
 	"lcm/internal/net"
 	"lcm/internal/workloads"
@@ -97,8 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	netSweep := fs.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
 	schedSeed := fs.Uint64("schedseed", 0, "deterministic schedule seed (0 = canonical cycle/node order; other seeds permute same-cycle ties)")
 	freeRun := fs.Bool("freerun", false, "disable the deterministic scheduler and let node goroutines interleave at the host's whim (observables are then not run-to-run reproducible)")
+	cells := fs.String("cells", "", "comma-separated grid cells to run instead of the full grid (e.g. Stencil-static,Threshold); implies -table1")
 	csvPath := fs.String("csv", "", "also write benchmark results as CSV to this file")
 	jsonPath := fs.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
+	detJSONPath := fs.String("detjson", "", "also write the deterministic BENCH_*.json bytes (timestamp zero, wall times masked) to this file; byte-identical across runs of the same tuple and to lcmd server-mode results")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -175,10 +179,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 		return 0
 	}
-	all := !*table1 && !*fig2 && !*fig3 && !*ablate
+	var cellSpecs []harness.CellSpec
+	if *cells != "" {
+		for _, name := range strings.Split(*cells, ",") {
+			c, err := harness.ParseCell(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+				return 2
+			}
+			cellSpecs = append(cellSpecs, c)
+		}
+	}
 
-	if all || *table1 || *fig2 || *fig3 {
-		rows := s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)
+	all := *cells == "" && !*table1 && !*fig2 && !*fig3 && !*ablate
+
+	if all || *table1 || *fig2 || *fig3 || len(cellSpecs) > 0 {
+		var rows []map[cstar.System]workloads.Result
+		if len(cellSpecs) > 0 {
+			var err error
+			rows, err = s.RunCells(cellSpecs)
+			if err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+				return 2
+			}
+			s.Table1(rows)
+		} else {
+			rows = s.RunPaperSelect(all || *table1, all || *fig2, all || *fig3)
+		}
 		if *csvPath != "" {
 			if err := writeFile(*csvPath, func(f *os.File) error { return harness.WriteCSV(f, rows) }); err != nil {
 				fmt.Fprintln(stderr, "lcmbench:", err)
@@ -192,6 +219,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+		}
+		if *detJSONPath != "" {
+			b, err := harness.MarshalDeterministic(s.Cfg, s.Scale, rows)
+			if err == nil {
+				err = os.WriteFile(*detJSONPath, b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "lcmbench:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *detJSONPath)
 		}
 		bad := 0
 		for _, row := range rows {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBadFlagsExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workers", "0"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("run(-workers 0) = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("run(-no-such-flag) = %d, want 2", code)
+	}
+}
+
+func TestListenFailureExit1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:0"}, &out, &errb, nil); code != 1 {
+		t.Fatalf("run(bad addr) = %d, want 1; stderr: %s", code, errb.String())
+	}
+}
+
+// The whole service lifecycle: serve, execute a job, then exit 0 on a
+// clean SIGTERM drain.
+func TestServeAndSigtermDrain(t *testing.T) {
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, &out, &errb, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	spec := `{"kind":"grid","cells":["Stencil-static"],"p":4,"scale":64}`
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	// Stream progress to completion so the drain below has nothing queued.
+	resp, err = http.Get(base + "/jobs/j1/progress")
+	if err != nil {
+		t.Fatalf("progress: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0; stderr: %s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never exited after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("stdout missing drain confirmation: %s", out.String())
+	}
+}

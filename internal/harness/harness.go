@@ -30,6 +30,11 @@ type Suite struct {
 	Scale int
 	// Out receives the rendered tables.
 	Out io.Writer
+	// OnProgress, when non-nil, is invoked after every completed (cell,
+	// system) run of a grid campaign (see Progress).  It lets callers —
+	// cmd progress meters, the lcmd job server — stream campaign state
+	// without the harness writing anywhere but Out.
+	OnProgress func(Progress)
 }
 
 // New creates a Suite with paper defaults writing to out.
@@ -94,40 +99,34 @@ func (s *Suite) UnstructuredSpec() workloads.UnstructuredSpec {
 var systems = []cstar.System{cstar.LCMscc, cstar.LCMmcc, cstar.Copying}
 
 // runRow runs one benchmark row under all three systems, stamping each
-// result with its host wall-clock duration for the trajectory record.
-func (s *Suite) runRow(run func(sys cstar.System) workloads.Result) map[cstar.System]workloads.Result {
+// result with its host wall-clock duration for the trajectory record and
+// reporting campaign progress after each system completes.
+func (s *Suite) runRow(cell string, done *int, total int, run func(sys cstar.System) workloads.Result) map[cstar.System]workloads.Result {
 	out := make(map[cstar.System]workloads.Result, len(systems))
 	for _, sys := range systems {
 		t0 := time.Now()
 		r := run(sys)
 		r.Wall = time.Since(t0)
 		out[sys] = r
+		*done++
+		if s.OnProgress != nil {
+			s.OnProgress(Progress{
+				Cell: cell, System: sys.String(), Done: *done, Total: total,
+				SimCycles: r.Cycles, SimMisses: r.C.Misses, Wall: r.Wall, Err: r.Err,
+			})
+		}
 	}
 	return out
 }
 
-// rows runs all five benchmark rows of Table 1 / Figures 2-3.
+// rows runs all six benchmark rows of Table 1 / Figures 2-3.
 func (s *Suite) rows() []map[cstar.System]workloads.Result {
 	fmt.Fprintf(s.Out, "running benchmarks (P=%d, scale 1/%d)...\n", s.Cfg.P, s.Scale)
-	all := []map[cstar.System]workloads.Result{
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunStencil(sys, s.StencilSpec("static"), s.Cfg)
-		}),
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunStencil(sys, s.StencilSpec("dynamic"), s.Cfg)
-		}),
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunAdaptive(sys, s.AdaptiveSpec("static"), s.Cfg)
-		}),
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunAdaptive(sys, s.AdaptiveSpec("dynamic"), s.Cfg)
-		}),
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunThreshold(sys, s.ThresholdSpec(), s.Cfg)
-		}),
-		s.runRow(func(sys cstar.System) workloads.Result {
-			return workloads.RunUnstructured(sys, s.UnstructuredSpec(), s.Cfg)
-		}),
+	all, err := s.RunCells(GridCells())
+	if err != nil {
+		// GridCells are the canonical cell set; a runner error for them
+		// is a harness bug, not a configuration problem.
+		panic(err)
 	}
 	return all
 }

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lcm/internal/cstar"
+	"lcm/internal/workloads"
+)
+
+// This file is the library face of the harness: grid cells are named
+// values that callers (cmd/lcmbench, internal/serve) select, run and
+// observe through a progress callback, instead of the harness owning the
+// whole campaign and its output files.  The rendered tables still go to
+// Suite.Out; the raw results come back to the caller.
+
+// CellSpec names one Table-1 grid cell: a workload plus, where the paper
+// measured both, a partitioning schedule.
+type CellSpec struct {
+	// Workload is "Stencil", "Adaptive", "Threshold" or "Unstructured".
+	Workload string
+	// Sched is "static" or "dynamic" for Stencil and Adaptive, empty for
+	// the workloads without a partitioning knob.
+	Sched string
+}
+
+// Label renders the canonical cell name ("Stencil-static", "Threshold").
+func (c CellSpec) Label() string {
+	if c.Sched == "" {
+		return c.Workload
+	}
+	return c.Workload + "-" + c.Sched
+}
+
+// GridCells returns the six Table-1 / Figure-2 / Figure-3 cells in their
+// canonical (paper) order.
+func GridCells() []CellSpec {
+	return []CellSpec{
+		{"Stencil", "static"},
+		{"Stencil", "dynamic"},
+		{"Adaptive", "static"},
+		{"Adaptive", "dynamic"},
+		{"Threshold", ""},
+		{"Unstructured", ""},
+	}
+}
+
+// ParseCell resolves a cell name to its spec.  Both the full schedule
+// names ("Stencil-static") and the table abbreviations ("Stencil-stat")
+// are accepted; matching is case-insensitive.
+func ParseCell(name string) (CellSpec, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, c := range GridCells() {
+		if strings.ToLower(c.Label()) == want {
+			return c, nil
+		}
+		// The paper's tables abbreviate the schedule ("Stencil-stat").
+		abbrev := map[string]string{"static": "stat", "dynamic": "dyn"}[c.Sched]
+		if c.Sched != "" && strings.ToLower(c.Workload+"-"+abbrev) == want {
+			return c, nil
+		}
+	}
+	return CellSpec{}, fmt.Errorf("unknown grid cell %q (want one of %s)", name, cellNames())
+}
+
+func cellNames() string {
+	var names []string
+	for _, c := range GridCells() {
+		names = append(names, c.Label())
+	}
+	return strings.Join(names, ", ")
+}
+
+// Progress is one cell-completion notification delivered to
+// Suite.OnProgress: the (cell, system) run that just finished and the
+// campaign position.  SimCycles is the run's simulated execution time;
+// Wall its host cost.  Err reports a failed run (the campaign continues;
+// the caller decides whether failures are fatal).
+type Progress struct {
+	Cell   string
+	System string
+	Done   int
+	Total  int
+
+	SimCycles int64
+	SimMisses int64
+	Wall      time.Duration
+	Err       error
+}
+
+// runner returns the function executing one cell under one system, or an
+// error for an unknown cell.
+func (s *Suite) runner(c CellSpec) (func(sys cstar.System) workloads.Result, error) {
+	switch c.Workload {
+	case "Stencil":
+		if c.Sched != "static" && c.Sched != "dynamic" {
+			return nil, fmt.Errorf("cell %s: Stencil needs a static or dynamic schedule", c.Label())
+		}
+		return func(sys cstar.System) workloads.Result {
+			return workloads.RunStencil(sys, s.StencilSpec(c.Sched), s.Cfg)
+		}, nil
+	case "Adaptive":
+		if c.Sched != "static" && c.Sched != "dynamic" {
+			return nil, fmt.Errorf("cell %s: Adaptive needs a static or dynamic schedule", c.Label())
+		}
+		return func(sys cstar.System) workloads.Result {
+			return workloads.RunAdaptive(sys, s.AdaptiveSpec(c.Sched), s.Cfg)
+		}, nil
+	case "Threshold":
+		if c.Sched != "" {
+			return nil, fmt.Errorf("cell %s: Threshold has no schedule variants", c.Label())
+		}
+		return func(sys cstar.System) workloads.Result {
+			return workloads.RunThreshold(sys, s.ThresholdSpec(), s.Cfg)
+		}, nil
+	case "Unstructured":
+		if c.Sched != "" {
+			return nil, fmt.Errorf("cell %s: Unstructured has no schedule variants", c.Label())
+		}
+		return func(sys cstar.System) workloads.Result {
+			return workloads.RunUnstructured(sys, s.UnstructuredSpec(), s.Cfg)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q in cell %s", c.Workload, c.Label())
+}
+
+// RunCells runs the given grid cells under all three memory systems,
+// invoking Suite.OnProgress (when set) after every completed (cell,
+// system) run.  The result slice is ordered like cells; each element maps
+// system to its measurements, exactly as the whole-grid campaign produces
+// them.  An unknown cell is an error before anything runs.
+func (s *Suite) RunCells(cells []CellSpec) ([]map[cstar.System]workloads.Result, error) {
+	runs := make([]func(sys cstar.System) workloads.Result, len(cells))
+	for i, c := range cells {
+		run, err := s.runner(c)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run
+	}
+	total := len(cells) * len(systems)
+	done := 0
+	rows := make([]map[cstar.System]workloads.Result, len(cells))
+	for i := range cells {
+		rows[i] = s.runRow(cells[i].Label(), &done, total, runs[i])
+	}
+	return rows, nil
+}

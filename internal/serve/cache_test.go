@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// normalized returns a normalized copy of sp, failing the test on error.
+func normalized(t *testing.T, sp JobSpec) JobSpec {
+	t.Helper()
+	if err := sp.Normalize(); err != nil {
+		t.Fatalf("Normalize(%+v): %v", sp, err)
+	}
+	return sp
+}
+
+func keyOf(t *testing.T, sp JobSpec) string {
+	t.Helper()
+	key, ok := normalized(t, sp).CacheKey()
+	if !ok {
+		t.Fatalf("spec unexpectedly uncacheable: %+v", sp)
+	}
+	return key
+}
+
+// The cache key is the content address of the full deterministic tuple:
+// the same tuple (with or without explicit defaults) maps to the same
+// key, and flipping any one of seed, P, net, scheduler seed, block size
+// or fault plan changes it.
+func TestCacheKeyTupleSensitivity(t *testing.T) {
+	base := JobSpec{Kind: "grid", Cells: []string{"Stencil-static"}, P: 8, Scale: 16}
+
+	if got, want := keyOf(t, base), keyOf(t, base); got != want {
+		t.Fatalf("same tuple produced different keys: %s vs %s", got, want)
+	}
+	// Explicit defaults and implicit defaults are the same tuple.
+	explicit := base
+	explicit.Scheduler = "det"
+	explicit.Net = "uniform"
+	if keyOf(t, base) != keyOf(t, explicit) {
+		t.Errorf("explicit defaults changed the key")
+	}
+	// Par is a host-side knob: results are bit-identical, same address.
+	par := base
+	par.Par = 4
+	if keyOf(t, base) != keyOf(t, par) {
+		t.Errorf("par changed the key; it must not (observables are bit-identical)")
+	}
+
+	flips := map[string]JobSpec{}
+	f := base
+	f.SchedSeed = 42
+	flips["sched_seed"] = f
+	f = base
+	f.P = 16
+	flips["p"] = f
+	f = base
+	f.Net = "fattree"
+	flips["net"] = f
+	f = base
+	f.BlockSize = 64
+	flips["blocksize"] = f
+	f = base
+	f.Scale = 32
+	flips["scale"] = f
+	f = base
+	f.Verify = true
+	flips["verify"] = f
+	f = base
+	f.Cells = []string{"Threshold"}
+	flips["cells"] = f
+
+	baseKey := keyOf(t, base)
+	seen := map[string]string{baseKey: "base"}
+	for name, sp := range flips {
+		k := keyOf(t, sp)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("flipping %s collided with %s (key %s)", name, prev, k)
+		}
+		seen[k] = name
+	}
+
+	// Fault plan and recovery seeds are part of the recovery tuple.
+	rec := JobSpec{Kind: "recovery", P: 4, Scale: 16, FaultPlan: "drop-1pct"}
+	recFlip := rec
+	recFlip.FaultPlan = "dup-storm"
+	recSeeds := rec
+	recSeeds.Seeds = []uint64{7}
+	if keyOf(t, rec) == keyOf(t, recFlip) {
+		t.Errorf("flipping fault_plan did not change the key")
+	}
+	if keyOf(t, rec) == keyOf(t, recSeeds) {
+		t.Errorf("flipping recovery seeds did not change the key")
+	}
+}
+
+// Freerun scheduling leaks host interleaving into observables, so those
+// runs are never content-addressed.
+func TestFreerunUncacheable(t *testing.T) {
+	sp := normalized(t, JobSpec{Kind: "grid", Scheduler: "freerun", P: 4, Scale: 64})
+	if sp.Cacheable() {
+		t.Fatalf("freerun spec reported cacheable")
+	}
+	if _, ok := sp.CacheKey(); ok {
+		t.Fatalf("freerun spec produced a cache key")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	put := func(i int) { c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}, "t", "j") }
+	put(1)
+	put(2)
+	if _, _, _, ok := c.Get("k1"); !ok { // k1 now most recent
+		t.Fatalf("k1 missing before capacity reached")
+	}
+	put(3) // evicts k2, the least recently used
+	if _, _, _, ok := c.Get("k2"); ok {
+		t.Errorf("k2 survived eviction; LRU order wrong")
+	}
+	if _, _, _, ok := c.Get("k1"); !ok {
+		t.Errorf("k1 evicted despite recent use")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss", st)
+	}
+	if st.Bytes != 2 {
+		t.Errorf("stats bytes = %d, want 2", st.Bytes)
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	bad := []JobSpec{
+		{Kind: "nope"},
+		{Kind: "grid", Cells: []string{"Mandelbrot"}},
+		{Kind: "grid", BlockSize: 48},
+		{Kind: "grid", Scale: -1},
+		{Kind: "grid", Scheduler: "cooperative"},
+		{Kind: "grid", Net: "torus"},
+		{Kind: "grid", FaultPlan: "light"}, // fault plans are chaos/recovery-only
+		{Kind: "chaos", FaultPlan: "nonexistent"},
+		{Kind: "recovery", FaultPlan: "nonexistent"},
+		{Kind: "check", Nodes: 9},
+		{Kind: "check", Protocol: "mesi"},
+	}
+	for _, sp := range bad {
+		spec := sp
+		if err := spec.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted a bad spec", sp)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeCollector struct {
+	name string
+	ms   []Metric
+}
+
+func (f fakeCollector) Name() string { return f.name }
+func (f fakeCollector) Collect(emit func(Metric)) {
+	for _, m := range f.ms {
+		emit(m)
+	}
+}
+
+func TestRegistryPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Register(
+		fakeCollector{"a", []Metric{
+			{"x_total", "Xes seen.", "counter", [][2]string{{"kind", "plain"}}, 3},
+			{"y_depth", "Y depth.", "gauge", nil, 0.5},
+		}},
+		fakeCollector{"b", []Metric{
+			// Same metric name from a second collector: no second header.
+			{"x_total", "Xes seen.", "counter", [][2]string{{"kind", `quo"te` + "\n" + `back\slash`}}, 4},
+			// Values past 1e6 must stay plain integers, not 7.201394e+06:
+			// scrapes are cross-checked textually against BENCH JSON.
+			{"x_total", "Xes seen.", "counter", [][2]string{{"kind", "big"}}, 7201394},
+		}},
+	)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+	want := "# HELP x_total Xes seen.\n" +
+		"# TYPE x_total counter\n" +
+		`x_total{kind="plain"} 3` + "\n" +
+		`x_total{kind="quo\"te\nback\\slash"} 4` + "\n" +
+		`x_total{kind="big"} 7201394` + "\n" +
+		"# HELP y_depth Y depth.\n" +
+		"# TYPE y_depth gauge\n" +
+		"y_depth 0.5\n"
+	if got != want {
+		t.Errorf("rendered exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJobStatsBoundsSamples(t *testing.T) {
+	js := NewJobStats(2)
+	js.AddRecords([]RecordSample{{Job: "j1"}, {Job: "j2"}})
+	js.AddRecords([]RecordSample{{Job: "j3"}})
+	samples, _, _, _, _ := js.snapshot()
+	if len(samples) != 2 || samples[0].Job != "j2" || samples[1].Job != "j3" {
+		t.Fatalf("samples = %+v, want FIFO-bounded to [j2 j3]", samples)
+	}
+}

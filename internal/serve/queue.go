@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is the bounded-concurrency job queue: a fixed worker pool pulls
+// submitted jobs in FIFO order, and at most depth jobs wait.  Drain
+// stops intake, cancels everything still queued with a structured 503
+// terminal event, and waits for running jobs to finish — so a SIGTERM
+// never strands a client on a dead progress stream.
+type Queue struct {
+	run  func(*Job)
+	jobs chan *Job
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	draining atomic.Bool
+	queued   atomic.Int64
+	running  atomic.Int64
+}
+
+// ErrQueueFull rejects a submission when depth jobs are already waiting.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrDraining rejects a submission during shutdown.
+var ErrDraining = errors.New("server draining")
+
+// NewQueue starts workers goroutines executing run on submitted jobs.
+func NewQueue(workers, depth int, run func(*Job)) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue{run: run, jobs: make(chan *Job, depth)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		q.queued.Add(-1)
+		if q.draining.Load() {
+			j.cancel(503, "server draining: job cancelled before start")
+			continue
+		}
+		if !j.begin() {
+			continue // cancelled while queued
+		}
+		q.running.Add(1)
+		q.run(j)
+		q.running.Add(-1)
+	}
+}
+
+// Submit enqueues j, failing fast when the queue is full or draining.
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	select {
+	case q.jobs <- j:
+		q.queued.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth returns the number of jobs waiting to start.
+func (q *Queue) Depth() int { return int(q.queued.Load()) }
+
+// Running returns the number of jobs currently executing.
+func (q *Queue) Running() int { return int(q.running.Load()) }
+
+// Draining reports whether Drain has begun.
+func (q *Queue) Draining() bool { return q.draining.Load() }
+
+// Drain shuts the queue down gracefully: no new submissions, queued
+// jobs are cancelled with a 503-style terminal progress event, running
+// jobs finish.  It blocks until every worker has exited and is
+// idempotent.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.draining.Store(true)
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	// Workers cancel the still-buffered jobs as they pull them off the
+	// closed channel, then exit when it is empty.
+	q.wg.Wait()
+}

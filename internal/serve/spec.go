@@ -1,0 +1,204 @@
+// Package serve runs the simulator as a long-running service: harness
+// campaigns (grid cells, the interconnect sweep, the chaos and recovery
+// matrices, the protocol model checker) become submitted jobs behind a
+// bounded-concurrency queue with streaming NDJSON progress, a
+// content-addressed result cache keyed on the full deterministic run
+// tuple, and a Prometheus-text /metrics surface exporting the per-node
+// simulation counters that previously only landed in JSON/CSV files.
+//
+// Everything the simulator computes is a pure function of the submitted
+// tuple (the deterministic scheduler makes even simulated cycles
+// replayable), so a repeated submission is served from cache
+// bit-identically to the first run — and to a process-mode `lcmbench
+// -detjson` run of the same tuple.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"lcm/internal/cost"
+	"lcm/internal/harness"
+	"lcm/internal/net"
+)
+
+// JobSpec is the wire shape of one submitted job: the deterministic run
+// tuple plus host-side execution knobs.  The zero value of every field
+// means "the default", so a spec with explicit defaults and one that
+// omits them normalize to the same tuple and hit the same cache entry.
+type JobSpec struct {
+	// Kind selects the campaign: "grid" (Table-1 cells), "netsweep"
+	// (interconnect sensitivity sweep), "chaos" (fault-injection
+	// campaign), "recovery" (crash-recovery matrix) or "check" (protocol
+	// model checker).
+	Kind string `json:"kind"`
+
+	// Cells restricts a grid job to the named Table-1 cells
+	// ("Stencil-static", "Threshold", ...); empty means the full grid.
+	Cells []string `json:"cells,omitempty"`
+
+	// P is the simulated machine size (default 32, the paper's).
+	P int `json:"p,omitempty"`
+	// Scale divides the problem sizes (default 1 = paper scale).
+	Scale int `json:"scale,omitempty"`
+	// BlockSize is the coherence block size in bytes (0 = 32).
+	BlockSize int `json:"blocksize,omitempty"`
+	// Verify checks results against the sequential references.
+	Verify bool `json:"verify,omitempty"`
+
+	// Net selects the interconnect model: "" or "uniform" for the flat
+	// historical charges, "fattree" for the CM-5-style tree.  LinkBW and
+	// NILat are the fat tree's cycles-per-byte and per-message NI
+	// occupancy overrides (0 = model defaults).
+	Net    string `json:"net,omitempty"`
+	LinkBW int64  `json:"linkbw,omitempty"`
+	NILat  int64  `json:"nilat,omitempty"`
+
+	// Scheduler is "" or "det" for the deterministic virtual-time
+	// scheduler, "freerun" for host-scheduled goroutines.  Freerun
+	// results are not run-to-run reproducible and are never cached.
+	Scheduler string `json:"scheduler,omitempty"`
+	// SchedSeed selects the deterministic schedule.
+	SchedSeed uint64 `json:"sched_seed,omitempty"`
+
+	// Par runs the deterministic schedule time-parallel on up to Par
+	// workers.  It is a host-side knob — observables are bit-identical
+	// to serial — so it is excluded from the cache key.
+	Par int `json:"par,omitempty"`
+
+	// FaultPlan names the chaos plan ("light", "heavy") or recovery plan
+	// ("kill-at-barrier", "drop-1pct", ...); empty means every default
+	// plan.  Part of the deterministic tuple.
+	FaultPlan string `json:"fault_plan,omitempty"`
+	// Seeds are the recovery-matrix seeds (default [1 2]).
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	// The model-checker tuple ("check" jobs).
+	Protocol string `json:"protocol,omitempty"` // copying|scc|mcc|all
+	Nodes    int    `json:"nodes,omitempty"`    // 2-3 (default 2)
+	Blocks   int    `json:"blocks,omitempty"`   // 2-4 (default 2)
+	Script   string `json:"script,omitempty"`   // canned script name ("" = all)
+	// MaxSchedules bounds the interleavings explored per configuration
+	// (0 = the service default of 5000; negative = exhaust the tree).
+	MaxSchedules int `json:"max_schedules,omitempty"`
+}
+
+// specSchema versions the cache key; bump when normalization or result
+// rendering changes meaning so stale entries cannot be served.
+const specSchema = "lcmd/1"
+
+// validKinds lists the campaigns the server runs.
+var validKinds = map[string]bool{
+	"grid": true, "netsweep": true, "chaos": true, "recovery": true, "check": true,
+}
+
+// Normalize applies defaults and validates the spec in place, so that
+// every field of the result is the value the run will actually use (and
+// the cache key is canonical).  It returns an error suitable for a 400
+// response.
+func (sp *JobSpec) Normalize() error {
+	if !validKinds[sp.Kind] {
+		return fmt.Errorf("unknown kind %q (want grid, netsweep, chaos, recovery or check)", sp.Kind)
+	}
+	if sp.P == 0 {
+		sp.P = 32
+	}
+	if sp.P < 1 {
+		return fmt.Errorf("p must be >= 1, got %d", sp.P)
+	}
+	if sp.Scale == 0 {
+		sp.Scale = 1
+	}
+	if sp.Scale < 1 {
+		return fmt.Errorf("scale must be >= 1, got %d", sp.Scale)
+	}
+	if sp.BlockSize != 0 && (sp.BlockSize < 8 || sp.BlockSize&(sp.BlockSize-1) != 0) {
+		return fmt.Errorf("blocksize must be a power of two >= 8, got %d", sp.BlockSize)
+	}
+	switch sp.Scheduler {
+	case "":
+		sp.Scheduler = "det"
+	case "det", "freerun":
+	default:
+		return fmt.Errorf("scheduler must be det or freerun, got %q", sp.Scheduler)
+	}
+	if sp.Net == "" {
+		sp.Net = "uniform"
+	}
+	if sp.Net != "uniform" || sp.LinkBW != 0 || sp.NILat != 0 {
+		cfg := net.Config{Model: sp.Net, CyclesPerByte: sp.LinkBW, NICycles: sp.NILat}
+		if _, err := net.New(cfg, sp.P, cost.Default()); err != nil {
+			return err
+		}
+	}
+	if sp.Par < 0 {
+		return fmt.Errorf("par must be >= 0, got %d", sp.Par)
+	}
+
+	for _, name := range sp.Cells {
+		if _, err := harness.ParseCell(name); err != nil {
+			return err
+		}
+	}
+	switch sp.Kind {
+	case "grid", "netsweep":
+		if sp.FaultPlan != "" {
+			return fmt.Errorf("fault_plan applies only to chaos and recovery jobs")
+		}
+	case "chaos":
+		if _, err := chaosPlans(sp.FaultPlan); err != nil {
+			return err
+		}
+	case "recovery":
+		if _, err := recoveryPlans(sp.FaultPlan); err != nil {
+			return err
+		}
+		if len(sp.Seeds) == 0 {
+			sp.Seeds = []uint64{1, 2}
+		}
+	case "check":
+		if sp.Nodes == 0 {
+			sp.Nodes = 2
+		}
+		if sp.Nodes < 2 || sp.Nodes > 3 {
+			return fmt.Errorf("nodes must be 2 or 3, got %d", sp.Nodes)
+		}
+		if sp.Blocks == 0 {
+			sp.Blocks = 2
+		}
+		if sp.Blocks < 2 || sp.Blocks > 4 {
+			return fmt.Errorf("blocks must be 2-4, got %d", sp.Blocks)
+		}
+		if sp.MaxSchedules == 0 {
+			sp.MaxSchedules = 5000
+		}
+		if _, err := checkSystems(sp.Protocol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cacheable reports whether the spec's results are a pure function of
+// the tuple.  Only freerun scheduling breaks that: the host's goroutine
+// interleaving leaks into order-dependent observables.
+func (sp JobSpec) Cacheable() bool { return sp.Scheduler != "freerun" }
+
+// CacheKey returns the content address of the spec's result: the SHA-256
+// of the canonical JSON of the normalized tuple with host-side knobs
+// (Par) masked out.  ok is false for uncacheable specs.
+func (sp JobSpec) CacheKey() (key string, ok bool) {
+	if !sp.Cacheable() {
+		return "", false
+	}
+	k := sp
+	k.Par = 0 // bit-identical to serial by construction; not part of the tuple
+	b, err := json.Marshal(k)
+	if err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(append([]byte(specSchema+":"), b...))
+	return hex.EncodeToString(sum[:]), true
+}
