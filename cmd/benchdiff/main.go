@@ -11,8 +11,9 @@
 //
 // Identity check (-identical): compare every simulation observable of
 // each record — workload, sched, system, simulated cycles, misses, clean
-// copies, verification status, and network message/byte counts — and
-// fail on any difference.  Only host-time fields (wall clock, the file
+// copies, verification status, network message/byte counts, and the
+// serving-workload (KV) counters and answer checksum — and fail on any
+// difference.  Only host-time fields (wall clock, the file
 // timestamp) are excluded: under the deterministic scheduler
 // (internal/sched, the default) every observable, simulated cycles and
 // Copying fault counts included, is a pure function of (workload, P,
@@ -131,6 +132,27 @@ func main() {
 			}
 			if ra.MaxLinkBusy != rb.MaxLinkBusy {
 				diff("max_link_busy", ra.MaxLinkBusy, rb.MaxLinkBusy)
+			}
+			if ra.KVOps != rb.KVOps {
+				diff("kv_ops", ra.KVOps, rb.KVOps)
+			}
+			if ra.KVGets != rb.KVGets {
+				diff("kv_gets", ra.KVGets, rb.KVGets)
+			}
+			if ra.KVPuts != rb.KVPuts {
+				diff("kv_puts", ra.KVPuts, rb.KVPuts)
+			}
+			if ra.KVReshards != rb.KVReshards {
+				diff("kv_reshards", ra.KVReshards, rb.KVReshards)
+			}
+			if ra.KVMigratedBlocks != rb.KVMigratedBlocks {
+				diff("kv_migrated_blocks", ra.KVMigratedBlocks, rb.KVMigratedBlocks)
+			}
+			if ra.KVHotShardOps != rb.KVHotShardOps {
+				diff("kv_hot_shard_ops", ra.KVHotShardOps, rb.KVHotShardOps)
+			}
+			if ra.KVAnswer != rb.KVAnswer {
+				diff("kv_answer", ra.KVAnswer, rb.KVAnswer)
 			}
 		}
 		if bad > 0 {

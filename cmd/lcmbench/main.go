@@ -12,8 +12,13 @@
 //	lcmbench [-scale N] [-p N] [-par N] [-blocksize N] [-verify] [-table1]
 //	         [-fig2] [-fig3] [-ablate] [-net=uniform|fattree] [-linkbw N]
 //	         [-nilat N] [-netsweep] [-schedseed N] [-freerun]
+//	         [-kvskew S] [-kvreshard N]
 //
-// With no selection flags, all experiments run.  -net selects the
+// With no selection flags, all experiments run.  -cells selects
+// individual grid cells by name, including the serving-traffic cells
+// KV-read and KV-write (the sharded key-value workload); -kvskew and
+// -kvreshard tune the KV cells' Zipf skew and reshard cadence, and both
+// are part of the deterministic run tuple.  -net selects the
 // interconnect model (the default uniform model reproduces the historical
 // flat charges bit-exactly; fattree adds topology and queueing), and
 // -netsweep runs the contention sensitivity sweep.  Runs are scheduled by
@@ -99,7 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	netSweep := fs.Bool("netsweep", false, "run only the interconnect sensitivity sweep (P x link bandwidth x system over the fat tree)")
 	schedSeed := fs.Uint64("schedseed", 0, "deterministic schedule seed (0 = canonical cycle/node order; other seeds permute same-cycle ties)")
 	freeRun := fs.Bool("freerun", false, "disable the deterministic scheduler and let node goroutines interleave at the host's whim (observables are then not run-to-run reproducible)")
-	cells := fs.String("cells", "", "comma-separated grid cells to run instead of the full grid (e.g. Stencil-static,Threshold); implies -table1")
+	cells := fs.String("cells", "", "comma-separated grid cells to run instead of the full grid (e.g. Stencil-static,KV-read); implies -table1")
+	kvSkew := fs.Float64("kvskew", 0, "KV cells' Zipf skew exponent (0 = workload default of 0.99)")
+	kvReshard := fs.Int("kvreshard", 0, "KV cells' reshard cadence in phases (0 = workload default; negative = resharding off)")
 	csvPath := fs.String("csv", "", "also write benchmark results as CSV to this file")
 	jsonPath := fs.String("json", "", "also write a BENCH_*.json benchmark trajectory record (wall time + simulation observables per cell) to this file")
 	detJSONPath := fs.String("detjson", "", "also write the deterministic BENCH_*.json bytes (timestamp zero, wall times masked) to this file; byte-identical across runs of the same tuple and to lcmd server-mode results")
@@ -111,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *scale < 1 {
 		fmt.Fprintln(stderr, "lcmbench: -scale must be >= 1")
+		return 2
+	}
+	if *kvSkew < 0 {
+		fmt.Fprintln(stderr, "lcmbench: -kvskew must be >= 0")
 		return 2
 	}
 	if *blockSize != 0 && (*blockSize < 8 || *blockSize&(*blockSize-1) != 0) {
@@ -146,6 +157,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	s := harness.New(stdout)
 	s.Cfg = workloads.Config{P: *p, BlockSize: uint32(*blockSize), Verify: *verify, SchedSeed: *schedSeed, FreeRun: *freeRun, Par: *par}
 	s.Scale = *scale
+	s.KVSkew = *kvSkew
+	s.KVReshard = *kvReshard
 	if *netModel != "uniform" || *linkBW != 0 || *niLat != 0 {
 		netCfg := net.Config{Model: *netModel, CyclesPerByte: *linkBW, NICycles: *niLat}
 		if _, err := net.New(netCfg, *p, cost.Default()); err != nil {

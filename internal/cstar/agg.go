@@ -218,6 +218,16 @@ func (v *VectorI64) Poke(i int, x int64) {
 	binary.LittleEndian.PutUint64(v.M.AS.HomeBytes(v.addr(i), 8), uint64(x))
 }
 
+// GetSpan loads elements [i, i+len(dst)) into dst through node n.
+func (v *VectorI64) GetSpan(n *tempest.Node, i int, dst []int64) {
+	n.ReadSpanI64(v.addr(i), dst)
+}
+
+// SetSpan stores src into elements [i, i+len(src)) through node n.
+func (v *VectorI64) SetSpan(n *tempest.Node, i int, src []int64) {
+	n.WriteSpanI64(v.addr(i), src)
+}
+
 // MatrixF32 is a two-dimensional row-major aggregate of float32 — the
 // paper's mesh type: with 32-byte blocks a cache block holds eight
 // single-precision floats from one row.  Rows are padded to a whole number

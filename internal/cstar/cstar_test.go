@@ -134,6 +134,35 @@ func TestVectorRoundTrips(t *testing.T) {
 	}
 }
 
+// The I64 span accessors move whole slices through the machine's
+// amortized span engine; values must round-trip and be visible to
+// element-wise Get on the same node.
+func TestVectorI64Spans(t *testing.T) {
+	m := NewMachine(2, 32, cost.Default(), LCMmcc)
+	v := NewVectorI64(m, "i64", 24, core.LooselyCoherent(), memsys.Interleaved)
+	m.Freeze()
+	m.Run(func(n *tempest.Node) {
+		if n.ID == 0 {
+			want := make([]int64, 11) // crosses block boundaries
+			for i := range want {
+				want[i] = int64(i)*-5 + 2
+			}
+			v.SetSpan(n, 3, want)
+			got := make([]int64, len(want))
+			v.GetSpan(n, 3, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("span[%d] = %d, want %d", i, got[i], want[i])
+				}
+				if e := v.Get(n, 3+i); e != want[i] {
+					t.Errorf("element readback [%d] = %d, want %d", i, e, want[i])
+				}
+			}
+		}
+		n.Barrier()
+	})
+}
+
 func TestMatrixRowMajorAddressing(t *testing.T) {
 	m := NewMachine(1, 32, cost.Zero(), Copying)
 	mx := NewMatrixF32(m, "m", 4, 8, core.Coherent(), memsys.Interleaved)

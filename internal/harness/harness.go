@@ -35,6 +35,12 @@ type Suite struct {
 	// cmd progress meters, the lcmd job server — stream campaign state
 	// without the harness writing anywhere but Out.
 	OnProgress func(Progress)
+	// KVSkew overrides the KV cells' Zipf exponent (0 = the workload
+	// default of 0.99); KVReshard their reshard cadence in phases
+	// (0 = default, negative = resharding off).  Both are part of the
+	// deterministic run tuple.
+	KVSkew    float64
+	KVReshard int
 }
 
 // New creates a Suite with paper defaults writing to out.
@@ -92,6 +98,32 @@ func (s *Suite) UnstructuredSpec() workloads.UnstructuredSpec {
 		p.Nodes /= s.Scale
 		p.Edges /= s.Scale
 		p.Iters = s.scaleIters(p.Iters)
+	}
+	return p
+}
+
+// KVSpec returns the (possibly scaled) serving-workload configuration
+// for the given request mix, with the Suite's skew/reshard overrides
+// applied.
+func (s *Suite) KVSpec(mix string) workloads.KVSpec {
+	p := workloads.PaperKV(mix)
+	if s.Scale > 1 {
+		// Floors keep heavily scaled runs meaningful: at least 32 keys
+		// per shard (one maximum-size block) and one aligned op chunk
+		// per stream; workloads.KVSpec.norm rounds the remainders up.
+		if p.Keys /= s.Scale; p.Keys < p.Shards*32 {
+			p.Keys = p.Shards * 32
+		}
+		if p.OpsPerStream /= s.Scale; p.OpsPerStream < 32 {
+			p.OpsPerStream = 32
+		}
+		p.Phases = s.scaleIters(p.Phases)
+	}
+	if s.KVSkew != 0 {
+		p.Skew = s.KVSkew
+	}
+	if s.KVReshard != 0 {
+		p.ReshardEvery = s.KVReshard
 	}
 	return p
 }

@@ -54,6 +54,19 @@ type BenchRecord struct {
 	RehomedRegions   int64 `json:"rehomed_regions,omitempty"`
 	RehomedBlocks    int64 `json:"rehomed_blocks,omitempty"`
 	RecoveryCycles   int64 `json:"recovery_cycles,omitempty"`
+	// Serving-workload observables (the KV cells).  All are zero for
+	// the paper's kernels and omitted from their JSON, so historical
+	// BENCH files are unaffected; for KV records they are held to the
+	// same bit-identity gates as the protocol counters.  KVAnswer is
+	// the folded per-shard/per-stream checksum — the workload's final
+	// answer as one value.
+	KVOps            int64 `json:"kv_ops,omitempty"`
+	KVGets           int64 `json:"kv_gets,omitempty"`
+	KVPuts           int64 `json:"kv_puts,omitempty"`
+	KVReshards       int64 `json:"kv_reshards,omitempty"`
+	KVMigratedBlocks int64 `json:"kv_migrated_blocks,omitempty"`
+	KVHotShardOps    int64 `json:"kv_hot_shard_ops,omitempty"`
+	KVAnswer         int64 `json:"kv_answer,omitempty"`
 }
 
 // BenchFile is the on-disk BENCH_*.json shape.
@@ -139,6 +152,14 @@ func benchFile(cfg workloads.Config, scale int, rows []map[cstar.System]workload
 				RehomedRegions:   r.C.Rehomings,
 				RehomedBlocks:    r.C.RehomedBlocks,
 				RecoveryCycles:   r.C.RecoveryCycles,
+
+				KVOps:            r.KV.Ops,
+				KVGets:           r.KV.Gets,
+				KVPuts:           r.KV.Puts,
+				KVReshards:       r.KV.Reshards,
+				KVMigratedBlocks: r.KV.MigratedBlocks,
+				KVHotShardOps:    r.KV.HotShardOps,
+				KVAnswer:         r.KV.Answer,
 			})
 		}
 	}

@@ -86,7 +86,76 @@ func (s *Suite) RunNetworkSweep(ps []int, cpbs []int64) []NetSweepResult {
 	return out
 }
 
-// DefaultNetSweep runs the network sweep at sizes suited to the scale.
+// RunKVNetworkSweep runs the read-mostly KV serving cell over the
+// fat-tree interconnect across machine sizes and link bandwidths, for
+// the Copying baseline and LCM-mcc.  Serving traffic stresses the
+// network differently from the paper's kernels: Zipf skew concentrates
+// block ownership on hot shards, and each reshard epoch moves whole
+// shards between owners in a burst, so this sweep covers bursty
+// ownership migration where Stencil-dyn covers steady neighbor
+// exchange.
+func (s *Suite) RunKVNetworkSweep(ps []int, cpbs []int64) []NetSweepResult {
+	var out []NetSweepResult
+	spec := s.KVSpec("read")
+	for _, p := range ps {
+		for _, cpb := range cpbs {
+			for _, sys := range []cstar.System{cstar.Copying, cstar.LCMmcc} {
+				cfg := s.Cfg
+				cfg.P = p
+				cfg.Net = &net.Config{Model: "fattree", CyclesPerByte: cpb}
+				r := workloads.RunKV(sys, spec, cfg)
+				out = append(out, NetSweepResult{
+					P: p, CyclesPerByte: cpb, System: sys,
+					Cycles: r.Cycles,
+					Msgs:   r.C.Net.TotalMsgs(), Bytes: r.C.Net.Bytes,
+					QueueCycles: r.C.Net.QueueCycles,
+					MaxLinkBusy: r.Links.MaxBusy,
+				})
+			}
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Sweep: KV-read (%d keys, %d shards, skew %.2f) on the fat-tree interconnect",
+			spec.Keys, spec.Shards, spec.Skew),
+		"copying:cycles", "mcc:cycles", "mcc advantage",
+		"copying:msgs", "mcc:msgs", "copying:queue", "mcc:queue")
+	for _, p := range ps {
+		for _, cpb := range cpbs {
+			var cop, mcc NetSweepResult
+			for _, r := range out {
+				if r.P != p || r.CyclesPerByte != cpb {
+					continue
+				}
+				if r.System == cstar.Copying {
+					cop = r
+				} else {
+					mcc = r
+				}
+			}
+			tb.AddRow(fmt.Sprintf("P=%d cpb=%d", p, cpb), map[string]string{
+				"copying:cycles": stats.GroupInt(cop.Cycles),
+				"mcc:cycles":     stats.GroupInt(mcc.Cycles),
+				"mcc advantage":  stats.Speedup(cop.Cycles, mcc.Cycles) + "x",
+				"copying:msgs":   stats.GroupInt(cop.Msgs),
+				"mcc:msgs":       stats.GroupInt(mcc.Msgs),
+				"copying:queue":  stats.GroupInt(cop.QueueCycles),
+				"mcc:queue":      stats.GroupInt(mcc.QueueCycles),
+			})
+		}
+	}
+	fmt.Fprintln(s.Out, tb.String())
+	fmt.Fprintln(s.Out, "  serving traffic adds reshard bursts: every migration epoch moves whole")
+	fmt.Fprintln(s.Out, "  shards to new owners at a barrier, and the Zipf-hot shards keep a few")
+	fmt.Fprintln(s.Out, "  links busy while the rest idle — watch mcc:queue vs copying:queue.")
+	fmt.Fprintln(s.Out)
+	return out
+}
+
+// DefaultNetSweep runs the network sweeps at sizes suited to the scale:
+// Stencil-dyn for steady neighbor exchange, then KV-read for bursty
+// ownership migration.
 func (s *Suite) DefaultNetSweep() []NetSweepResult {
-	return s.RunNetworkSweep([]int{8, 16, 32}, []int64{2, 8, 32})
+	out := s.RunNetworkSweep([]int{8, 16, 32}, []int64{2, 8, 32})
+	out = append(out, s.RunKVNetworkSweep([]int{8, 16, 32}, []int64{2, 8, 32})...)
+	return out
 }

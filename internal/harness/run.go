@@ -15,13 +15,15 @@ import (
 // whole campaign and its output files.  The rendered tables still go to
 // Suite.Out; the raw results come back to the caller.
 
-// CellSpec names one Table-1 grid cell: a workload plus, where the paper
-// measured both, a partitioning schedule.
+// CellSpec names one grid cell: a workload plus, where the workload has
+// one, a schedule knob.
 type CellSpec struct {
-	// Workload is "Stencil", "Adaptive", "Threshold" or "Unstructured".
+	// Workload is "Stencil", "Adaptive", "Threshold", "Unstructured" or
+	// "KV".
 	Workload string
-	// Sched is "static" or "dynamic" for Stencil and Adaptive, empty for
-	// the workloads without a partitioning knob.
+	// Sched is "static" or "dynamic" for Stencil and Adaptive, the
+	// request mix ("read" or "write") for KV, and empty for the
+	// workloads without a knob.
 	Sched string
 }
 
@@ -46,30 +48,66 @@ func GridCells() []CellSpec {
 	}
 }
 
+// KVCells returns the serving-traffic cells: the sharded KV workload
+// under its read-mostly and write-heavy mixes.  They are selectable by
+// name (-cells, lcmd Cells) and deliberately not part of GridCells, so
+// the Table-1 campaigns — and the committed BENCH_seed.json trajectory
+// they are gated against — keep their historical shape.
+func KVCells() []CellSpec {
+	return []CellSpec{
+		{"KV", "read"},
+		{"KV", "write"},
+	}
+}
+
+// AllCells returns every selectable cell: the Table-1 grid followed by
+// the serving-traffic cells.
+func AllCells() []CellSpec {
+	return append(GridCells(), KVCells()...)
+}
+
+// UnknownCellError reports a cell name that resolves to no selectable
+// cell, carrying the offending name and the known cell names so callers
+// can render a structured diagnostic (and tests can assert on more than
+// message text).
+type UnknownCellError struct {
+	// Name is the unresolvable input, as given.
+	Name string
+	// Known lists every valid cell label in canonical order.
+	Known []string
+}
+
+func (e *UnknownCellError) Error() string {
+	return fmt.Sprintf("unknown grid cell %q (want one of %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
 // ParseCell resolves a cell name to its spec.  Both the full schedule
 // names ("Stencil-static") and the table abbreviations ("Stencil-stat")
-// are accepted; matching is case-insensitive.
+// are accepted; matching is case-insensitive.  An unresolvable name —
+// including an empty segment from a stray comma — is an *UnknownCellError.
 func ParseCell(name string) (CellSpec, error) {
 	want := strings.ToLower(strings.TrimSpace(name))
-	for _, c := range GridCells() {
+	for _, c := range AllCells() {
 		if strings.ToLower(c.Label()) == want {
 			return c, nil
 		}
 		// The paper's tables abbreviate the schedule ("Stencil-stat").
 		abbrev := map[string]string{"static": "stat", "dynamic": "dyn"}[c.Sched]
-		if c.Sched != "" && strings.ToLower(c.Workload+"-"+abbrev) == want {
+		if abbrev != "" && strings.ToLower(c.Workload+"-"+abbrev) == want {
 			return c, nil
 		}
 	}
-	return CellSpec{}, fmt.Errorf("unknown grid cell %q (want one of %s)", name, cellNames())
+	return CellSpec{}, &UnknownCellError{Name: name, Known: CellNames()}
 }
 
-func cellNames() string {
+// CellNames returns the labels of every selectable cell in canonical
+// order.
+func CellNames() []string {
 	var names []string
-	for _, c := range GridCells() {
+	for _, c := range AllCells() {
 		names = append(names, c.Label())
 	}
-	return strings.Join(names, ", ")
+	return names
 }
 
 // Progress is one cell-completion notification delivered to
@@ -120,6 +158,13 @@ func (s *Suite) runner(c CellSpec) (func(sys cstar.System) workloads.Result, err
 		}
 		return func(sys cstar.System) workloads.Result {
 			return workloads.RunUnstructured(sys, s.UnstructuredSpec(), s.Cfg)
+		}, nil
+	case "KV":
+		if c.Sched != "read" && c.Sched != "write" {
+			return nil, fmt.Errorf("cell %s: KV needs a read or write mix", c.Label())
+		}
+		return func(sys cstar.System) workloads.Result {
+			return workloads.RunKV(sys, s.KVSpec(c.Sched), s.Cfg)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown workload %q in cell %s", c.Workload, c.Label())

@@ -69,6 +69,15 @@ func TestCacheKeyTupleSensitivity(t *testing.T) {
 	f = base
 	f.Cells = []string{"Threshold"}
 	flips["cells"] = f
+	f = base
+	f.Cells = []string{"KV-read"}
+	flips["kv cell"] = f
+	f = base
+	f.KVSkew = 1.2
+	flips["kv_skew"] = f
+	f = base
+	f.KVReshard = -1
+	flips["kv_reshard"] = f
 
 	baseKey := keyOf(t, base)
 	seen := map[string]string{baseKey: "base"}
@@ -146,6 +155,7 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{Kind: "recovery", FaultPlan: "nonexistent"},
 		{Kind: "check", Nodes: 9},
 		{Kind: "check", Protocol: "mesi"},
+		{Kind: "grid", KVSkew: -0.5},
 	}
 	for _, sp := range bad {
 		spec := sp

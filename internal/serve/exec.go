@@ -160,6 +160,8 @@ func (s *Server) execute(j *Job) {
 	suite := harness.New(io.MultiWriter(&out, &lineEmitter{j: j}))
 	suite.Cfg = buildConfig(sp)
 	suite.Scale = sp.Scale
+	suite.KVSkew = sp.KVSkew
+	suite.KVReshard = sp.KVReshard
 
 	var body []byte
 	ctype := "application/json"

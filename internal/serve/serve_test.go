@@ -158,6 +158,50 @@ func TestGridJobMatchesProcessModeBytes(t *testing.T) {
 	}
 }
 
+// A KV serving-cell job through the server must also match process-mode
+// bytes, with the KV tuning knobs threaded through the suite exactly as
+// cmd/lcmbench threads its flags.
+func TestKVGridJobMatchesProcessModeBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	spec := JobSpec{Kind: "grid", Cells: []string{"KV-read"}, P: 8, Scale: 16,
+		Verify: true, KVSkew: 1.2, KVReshard: 2}
+	code, sr := submit(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	progress(t, ts, sr.ID)
+	code, _, body := result(t, ts, sr.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, body)
+	}
+
+	suite := harness.New(io.Discard)
+	suite.Cfg = workloads.Config{P: 8, Verify: true}
+	suite.Scale = 16
+	suite.KVSkew = 1.2
+	suite.KVReshard = 2
+	rows, err := suite.RunCells([]harness.CellSpec{{Workload: "KV", Sched: "read"}})
+	if err != nil {
+		t.Fatalf("RunCells: %v", err)
+	}
+	want, err := harness.MarshalDeterministic(suite.Cfg, suite.Scale, rows)
+	if err != nil {
+		t.Fatalf("MarshalDeterministic: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("KV server-mode bytes differ from process-mode bytes:\nserver: %s\nprocess: %s", body, want)
+	}
+	var bf harness.BenchFile
+	if err := json.Unmarshal(body, &bf); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+	for _, rec := range bf.Records {
+		if rec.KVOps <= 0 || rec.KVAnswer == 0 || !rec.Verified {
+			t.Errorf("record missing KV observables: %+v", rec)
+		}
+	}
+}
+
 // A repeated submission of the same tuple is served from the content-
 // addressed cache, bit-identically, without consuming a queue slot.
 func TestCacheHitServesIdenticalBytes(t *testing.T) {

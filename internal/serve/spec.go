@@ -35,8 +35,8 @@ type JobSpec struct {
 	// model checker).
 	Kind string `json:"kind"`
 
-	// Cells restricts a grid job to the named Table-1 cells
-	// ("Stencil-static", "Threshold", ...); empty means the full grid.
+	// Cells restricts a grid job to the named cells ("Stencil-static",
+	// "Threshold", "KV-read", ...); empty means the full Table-1 grid.
 	Cells []string `json:"cells,omitempty"`
 
 	// P is the simulated machine size (default 32, the paper's).
@@ -67,6 +67,15 @@ type JobSpec struct {
 	// workers.  It is a host-side knob — observables are bit-identical
 	// to serial — so it is excluded from the cache key.
 	Par int `json:"par,omitempty"`
+
+	// KVSkew and KVReshard tune the serving-traffic (KV) cells: the Zipf
+	// skew exponent (0 = workload default of 0.99) and the reshard
+	// cadence in phases (0 = default, negative = resharding off).  Both
+	// change simulation observables and so are part of the deterministic
+	// tuple; zero values are omitted from JSON, keeping pre-KV cache keys
+	// stable.
+	KVSkew    float64 `json:"kv_skew,omitempty"`
+	KVReshard int     `json:"kv_reshard,omitempty"`
 
 	// FaultPlan names the chaos plan ("light", "heavy") or recovery plan
 	// ("kill-at-barrier", "drop-1pct", ...); empty means every default
@@ -135,6 +144,9 @@ func (sp *JobSpec) Normalize() error {
 	}
 	if sp.Par < 0 {
 		return fmt.Errorf("par must be >= 0, got %d", sp.Par)
+	}
+	if sp.KVSkew < 0 {
+		return fmt.Errorf("kv_skew must be >= 0, got %v", sp.KVSkew)
 	}
 
 	for _, name := range sp.Cells {

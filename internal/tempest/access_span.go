@@ -232,6 +232,45 @@ func (n *Node) WriteSpanI32(a memsys.Addr, src []int32) {
 	}
 }
 
+// ReadSpanI64 loads len(dst) consecutive 64-bit signed integers.
+func (n *Node) ReadSpanI64(a memsys.Addr, dst []int64) {
+	if n.M.ScalarAccess {
+		for i := range dst {
+			dst[i] = n.ReadI64(a + memsys.Addr(8*i))
+		}
+		return
+	}
+	for len(dst) > 0 {
+		b, off, k := n.spanSeg(a, 8, len(dst))
+		seg := n.loadSeg(b, int64(k)).Data[off:]
+		for i := 0; i < k; i++ {
+			dst[i] = int64(binary.LittleEndian.Uint64(seg[8*i:]))
+		}
+		dst = dst[k:]
+		a += memsys.Addr(8 * k)
+	}
+}
+
+// WriteSpanI64 stores the integers of src consecutively starting at a.
+func (n *Node) WriteSpanI64(a memsys.Addr, src []int64) {
+	if n.M.ScalarAccess {
+		for i, v := range src {
+			n.WriteI64(a+memsys.Addr(8*i), v)
+		}
+		return
+	}
+	for len(src) > 0 {
+		_, _, k := n.spanSeg(a, 8, len(src))
+		buf := n.spanBuf[:8*k]
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(src[i]))
+		}
+		n.storeAt(a, buf, int64(k))
+		src = src[k:]
+		a += memsys.Addr(8 * k)
+	}
+}
+
 // CopySpan copies k elements of elem bytes (4 or 8) from src to dst
 // through the tagged access path, exactly as the scalar loop
 // "for i: store(dst+i*elem, load(src+i*elem))" would: segments split at

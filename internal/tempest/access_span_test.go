@@ -46,6 +46,13 @@ func spanPattern(n *Node, base memsys.Addr) {
 	n.ReadSpanU64(base+8, u64)
 	n.WriteSpanU64(base+8, u64)
 
+	i64 := make([]int64, 7) // mid-block start, crosses a boundary
+	n.ReadSpanI64(base+48, i64)
+	for i := range i64 {
+		i64[i] -= 3
+	}
+	n.WriteSpanI64(base+48, i64)
+
 	f64 := make([]float64, 4)
 	n.ReadSpanF64(base+192, f64)
 	n.WriteSpanF64(base+192, f64)
@@ -130,6 +137,18 @@ func TestSpanRoundTrip(t *testing.T) {
 		for i := range want {
 			if v := n.ReadF32(r.Base + 128 + memsys.Addr(4*i)); v != want[i] {
 				t.Errorf("copy dst [%d] = %v, want %v", i, v, want[i])
+			}
+		}
+		wantI := make([]int64, 9) // 72 bytes ending at the region edge
+		for i := range wantI {
+			wantI[i] = int64(i)*-7 + 3
+		}
+		n.WriteSpanI64(r.Base+184, wantI)
+		gotI := make([]int64, len(wantI))
+		n.ReadSpanI64(r.Base+184, gotI)
+		for i := range wantI {
+			if gotI[i] != wantI[i] {
+				t.Errorf("i64[%d] = %v, want %v", i, gotI[i], wantI[i])
 			}
 		}
 	})

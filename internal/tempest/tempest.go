@@ -724,15 +724,18 @@ func (n *Node) Barrier() {
 // DropCopy discards this node's read-only copy of the block containing a,
 // if any.  The next reference re-fetches the latest value — the consumer-
 // driven refresh of the stale-data policy (Section 7.5: "the consumer can
-// simply flush the block").  Private (modified) copies are not dropped.
+// simply flush the block") and the relinquish half of a shard handoff.
+// The drop goes through the protocol's eviction path so the home
+// directory forgets the sharer (a silently dropped copy would earn
+// useless invalidations later and fails the quiescent audits).  Private
+// (modified) copies are not dropped.
 func (n *Node) DropCopy(a memsys.Addr) {
 	b := n.M.AS.Block(a)
 	if l := n.lines[b]; l != nil && l.Tag() == TagReadOnly {
-		l.SetTag(TagInvalid)
+		n.M.protocol.Evict(n, b)
 		if n.mruLine != nil && n.mruBlock == b {
 			n.mruLine = nil
 		}
-		n.Charge(n.M.Cost.MarkLocal)
 	}
 }
 

@@ -120,6 +120,37 @@ func TestFaultOnlyOnInvalid(t *testing.T) {
 	}
 }
 
+// DropCopy discards a read-only copy through the protocol's eviction
+// path (so a real directory forgets the sharer) and leaves private
+// copies alone.
+func TestDropCopyEvictsReadOnlyOnly(t *testing.T) {
+	m, r := newTestMachine(t, 1, 64)
+	fp := m.Protocol().(*fakeProtocol)
+	m.Run(func(n *Node) {
+		b := m.AS.Block(r.Base)
+		n.ReadF32(r.Base) // fault in (fake installs RW)
+
+		// A private (writable) copy must survive a DropCopy.
+		n.DropCopy(r.Base)
+		if l := n.Line(b); l == nil || l.Tag() != TagReadWrite {
+			t.Errorf("DropCopy touched a private copy")
+		}
+
+		// Demote to read-only: now DropCopy must evict, and the next
+		// read must re-fault.
+		n.Line(b).SetTag(TagReadOnly)
+		n.DropCopy(r.Base)
+		if l := n.Line(b); l != nil && l.Tag() != TagInvalid {
+			t.Errorf("dropped copy still holds tag %v", l.Tag())
+		}
+		before := fp.readFaults
+		n.ReadF32(r.Base)
+		if fp.readFaults != before+1 {
+			t.Errorf("read after DropCopy did not re-fault")
+		}
+	})
+}
+
 func TestClockChargesAndBarrierMax(t *testing.T) {
 	m, _ := newTestMachine(t, 4, 64)
 	m.Run(func(n *Node) {

@@ -165,6 +165,9 @@ type Result struct {
 	// Loss is the delivery-fault record of an unreliable-network run
 	// (zero when Config.Loss was nil).
 	Loss net.LossTally
+	// KV holds the serving-workload observables (zero for the paper's
+	// four kernels).
+	KV KVStats
 	// Net is the run's network model name; Links summarizes channel
 	// occupancy (all zero under the uniform model, which has no links).
 	Net   string
@@ -189,11 +192,16 @@ func (r Result) CleanCopies() int64 {
 }
 
 // Label renders "name-sched" ("Stencil-stat") like the paper's tables.
+// Schedules without a table abbreviation (the KV mixes) keep their full
+// name rather than collapsing to a dangling "name-".
 func (r Result) Label() string {
 	if r.Sched == "" {
 		return r.Workload
 	}
-	abbrev := map[string]string{"static": "stat", "dynamic": "dyn"}[r.Sched]
+	abbrev, ok := map[string]string{"static": "stat", "dynamic": "dyn"}[r.Sched]
+	if !ok {
+		abbrev = r.Sched
+	}
 	return fmt.Sprintf("%s-%s", r.Workload, abbrev)
 }
 
